@@ -1,0 +1,89 @@
+// mc-bench reproduces the paper's tables and figures: it builds the
+// requested simulated cluster designs, preloads them, runs the measurement
+// phase, and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	mc-bench -list
+//	mc-bench [-full] [-ops N] fig1a fig6b ...
+//	mc-bench [-full] all
+//
+// Experiment ids follow the paper's figure numbering (fig1a..fig8b); see
+// DESIGN.md §5 for the per-experiment index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hybridkv/internal/bench"
+)
+
+// writeCSV dumps one experiment's tables to <dir>/<id>.csv.
+func writeCSV(dir string, r *bench.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, r.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.WriteCSV(f)
+}
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	full := flag.Bool("full", false, "use the paper's full sizes (1 GB server memory) instead of the 4x-scaled default")
+	ops := flag.Int("ops", 0, "override the measured operation count")
+	csvDir := flag.String("csv", "", "also write each experiment's tables as CSV into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mc-bench [-list] [-full] [-ops N] <experiment-id>... | all\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := bench.Options{Full: *full, Ops: *ops}
+	var ids []string
+	if len(args) == 1 && args[0] == "all" {
+		for _, e := range bench.Registry {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+	exit := 0
+	for _, id := range ids {
+		e := bench.ByID(id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "mc-bench: unknown experiment %q (try -list)\n", id)
+			exit = 1
+			continue
+		}
+		t0 := time.Now()
+		r := e.Run(opts)
+		fmt.Printf("==> %s — %s   [%v wall]\n%s\n", r.ID, e.Title, time.Since(t0).Round(time.Millisecond), r.Output)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, r); err != nil {
+				fmt.Fprintf(os.Stderr, "mc-bench: csv: %v\n", err)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}

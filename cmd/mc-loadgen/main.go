@@ -1,0 +1,241 @@
+// mc-loadgen drives a simulated deployment with a YCSB preset or a custom
+// mix and reports latency percentiles, throughput and server statistics —
+// the workhorse for exploring configurations beyond the paper's figures.
+//
+// Usage:
+//
+//	mc-loadgen -ycsb A -design H-RDMA-Opt-NonB-i -servers 4 -clients 8
+//	mc-loadgen -reads 0.9 -zipf 0.7 -value 8192 -ops 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hybridkv/internal/cluster"
+	"hybridkv/internal/core"
+	"hybridkv/internal/metrics"
+	"hybridkv/internal/protocol"
+	"hybridkv/internal/sim"
+	"hybridkv/internal/trace"
+	"hybridkv/internal/workload"
+)
+
+func main() {
+	designName := flag.String("design", "H-RDMA-Opt-NonB-i", "cluster design")
+	servers := flag.Int("servers", 1, "server count")
+	clients := flag.Int("clients", 1, "client count")
+	mem := flag.Int64("mem", 256<<20, "slab memory per server, bytes")
+	nvme := flag.Bool("nvme", false, "use the NVMe testbed profile")
+	ycsb := flag.String("ycsb", "", "YCSB preset: A, B, C, D or F (overrides -reads/-zipf)")
+	reads := flag.Float64("reads", 0.5, "read fraction of the custom mix")
+	zipfS := flag.Float64("zipf", 0.99, "zipfian exponent of the custom mix")
+	value := flag.Int("value", 32*1024, "value size, bytes")
+	keys := flag.Int("keys", 0, "keyspace size (default: 1.5x server memory)")
+	ops := flag.Int("ops", 10000, "operations per client")
+	window := flag.Int("window", 32, "non-blocking issue window")
+	seed := flag.Int64("seed", 42, "workload seed")
+	traceFile := flag.String("trace", "", "write a per-op trace (CSV by extension .csv, else JSON lines)")
+	flag.Parse()
+
+	var design cluster.Design
+	found := false
+	for _, d := range cluster.Designs {
+		if strings.EqualFold(d.String(), *designName) {
+			design, found = d, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "mc-loadgen: unknown design %q\n", *designName)
+		os.Exit(2)
+	}
+	prof := cluster.ClusterA()
+	if *nvme {
+		prof = cluster.ClusterB()
+	}
+	cl := cluster.New(cluster.Config{
+		Design:    design,
+		Profile:   prof,
+		Servers:   *servers,
+		Clients:   *clients,
+		ServerMem: *mem / int64(*servers),
+	})
+
+	nkeys := *keys
+	if nkeys <= 0 {
+		nkeys = int(*mem * 3 / 2 / int64(*value))
+	}
+	fmt.Printf("%s on %s: %d server(s), %d client(s), %d keys × %d B\n",
+		design, prof.Name, *servers, *clients, nkeys, *value)
+	cl.Preload(nkeys, *value, func(i int) string { return fmt.Sprintf("obj:%010d", i) })
+
+	mkGen := func(ci int) (*workload.Generator, bool) {
+		if *ycsb != "" {
+			cfg, rmw, err := workload.YCSBConfig(workload.YCSB((*ycsb)[0]), nkeys, *value, *seed+int64(ci))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mc-loadgen: %v\n", err)
+				os.Exit(2)
+			}
+			return workload.New(cfg), rmw
+		}
+		return workload.New(workload.Config{
+			Keys: nkeys, ValueSize: *value, ReadFraction: *reads,
+			Pattern: workload.Zipf, ZipfS: *zipfS, Seed: *seed + int64(ci),
+		}), false
+	}
+
+	lat := metrics.NewHist()
+	var rec *trace.Recorder
+	if *traceFile != "" {
+		rec = trace.New(0)
+	}
+	var misses int64
+	start := cl.Env.Now()
+	for ci := range cl.Clients {
+		ci := ci
+		c := cl.Clients[ci]
+		gen, rmw := mkGen(ci)
+		cl.Env.Spawn(fmt.Sprintf("loadgen-%d", ci), func(p *sim.Proc) {
+			runClient(p, cl, c, ci, gen, design, *ops, *window, rmw, lat, &misses, rec)
+		})
+	}
+	cl.Env.Run()
+	elapsed := cl.Env.Now() - start
+
+	total := int64(*ops) * int64(*clients)
+	fmt.Printf("\n%d ops in %v of virtual time\n", total, elapsed)
+	fmt.Printf("  throughput   %12.0f ops/s\n", metrics.Throughput(total, elapsed))
+	fmt.Printf("  latency      mean=%v p50=%v p95=%v p99=%v max=%v\n",
+		lat.Mean(), lat.Quantile(0.5), lat.Quantile(0.95), lat.Quantile(0.99), lat.Max())
+	fmt.Printf("  cache misses %d\n", misses)
+	if rec != nil {
+		if err := writeTrace(*traceFile, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "mc-loadgen: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %s -> %s\n", rec.Summary(), *traceFile)
+	}
+	for i, srv := range cl.Servers {
+		st := srv.Store().Stats()
+		fmt.Printf("  server %d: items=%d (ram=%d ssd=%d) flushes=%d drops=%d hit-rate=%.1f%%\n",
+			i, st.Items, st.RAMItems, st.SSDItems, st.FlushPages, st.DropEvictions,
+			100*float64(st.GetHits)/float64(max64(st.GetOps, 1)))
+	}
+}
+
+// runClient drives one client: blocking designs loop round trips (with
+// read-modify-write via Gets+CAS when the preset asks for it); non-blocking
+// designs pipeline iset/iget in windows.
+func runClient(p *sim.Proc, cl *cluster.Cluster, c *core.Client, ci int, gen *workload.Generator,
+	design cluster.Design, ops, window int, rmw bool, lat *metrics.Hist, misses *int64, rec *trace.Recorder) {
+	vs := gen.ValueSize()
+	record := func(kind workload.OpKind, key string, t0 sim.Time, status string, bytes int) {
+		if rec == nil {
+			return
+		}
+		k := "get"
+		if kind == workload.OpSet {
+			k = "set"
+		}
+		rec.Add(trace.Op{
+			Client: ci, Kind: k, Key: key,
+			Issued: t0, Completed: p.Now(), Status: status, Bytes: bytes,
+		})
+	}
+	if !design.NonBlocking() {
+		for i := 0; i < ops; i++ {
+			kind, key := gen.Next()
+			t0 := p.Now()
+			status := "STORED"
+			if kind == workload.OpGet {
+				_, _, st := c.Get(p, key)
+				status = st.String()
+				if st == protocol.StatusNotFound {
+					*misses++
+					v := cl.Backend.Fetch(p, key)
+					c.Set(p, key, vs, v, 0, 0)
+				}
+			} else if rmw {
+				// YCSB F: read-modify-write via Gets + CAS; on conflict or
+				// miss, fall back to a plain Set.
+				_, _, cas, st := c.Gets(p, key)
+				if st != protocol.StatusOK ||
+					c.CompareAndSet(p, key, vs, key, 0, 0, cas) != protocol.StatusStored {
+					c.Set(p, key, vs, key, 0, 0)
+				}
+			} else {
+				c.Set(p, key, vs, key, 0, 0)
+			}
+			lat.Add(p.Now() - t0)
+			record(kind, key, t0, status, vs)
+		}
+		return
+	}
+	left := ops
+	for left > 0 {
+		n := window
+		if n > left {
+			n = left
+		}
+		reqs := make([]*core.Req, 0, n)
+		kinds := make([]workload.OpKind, 0, n)
+		t0 := p.Now()
+		for i := 0; i < n; i++ {
+			kind, key := gen.Next()
+			var req *core.Req
+			var err error
+			if kind == workload.OpGet {
+				req, err = c.IGet(p, key)
+			} else {
+				req, err = c.ISet(p, key, vs, key, 0, 0)
+			}
+			if err != nil {
+				panic(err)
+			}
+			reqs = append(reqs, req)
+			kinds = append(kinds, kind)
+		}
+		c.WaitAll(p, reqs)
+		per := (p.Now() - t0) / sim.Time(n)
+		for i, r := range reqs {
+			lat.Add(per)
+			if r.Status == protocol.StatusNotFound {
+				*misses++
+			}
+			if rec != nil {
+				k := "iget"
+				if kinds[i] == workload.OpSet {
+					k = "iset"
+				}
+				rec.Add(trace.Op{
+					Client: ci, Kind: k, Key: r.Key,
+					Issued: r.IssuedAt, Completed: r.CompletedAt,
+					Status: r.Status.String(), Bytes: r.ValueSize,
+				})
+			}
+		}
+		left -= n
+	}
+}
+
+// writeTrace dumps the recorder to path (CSV if the extension is .csv).
+func writeTrace(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return rec.WriteCSV(f)
+	}
+	return rec.WriteJSONL(f)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

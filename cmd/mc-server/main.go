@@ -1,0 +1,155 @@
+// mc-server boots one simulated hybrid Memcached deployment and executes a
+// simple operation script against it, printing per-operation results with
+// virtual timestamps and a final server report. It is the quickest way to
+// poke at a design end to end.
+//
+// Usage:
+//
+//	mc-server [-design H-RDMA-Opt-NonB-i] [-servers N] [-mem BYTES] [-nvme] [-script FILE]
+//
+// Script lines (default script demonstrates overflow to SSD):
+//
+//	set <key> <valueBytes>
+//	get <key>
+//	del <key>
+//	sleep <duration>     e.g. sleep 2ms
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hybridkv/internal/cluster"
+	"hybridkv/internal/protocol"
+	"hybridkv/internal/sim"
+)
+
+func designByName(name string) (cluster.Design, bool) {
+	for _, d := range cluster.Designs {
+		if strings.EqualFold(d.String(), name) {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// defaultScript overflows a small server and reads back both RAM- and
+// SSD-resident keys.
+const defaultScript = `
+set hot:1 32768
+set hot:2 32768
+set big:filler-a 1048576
+set big:filler-b 1048576
+set big:filler-c 1048576
+set big:filler-d 1048576
+get hot:1
+sleep 1ms
+get big:filler-a
+get missing:key
+del hot:2
+get hot:2
+`
+
+func main() {
+	designName := flag.String("design", "H-RDMA-Opt-NonB-i", "design: IPoIB-Mem, RDMA-Mem, H-RDMA-Def, H-RDMA-Opt-Block, H-RDMA-Opt-NonB-b, H-RDMA-Opt-NonB-i")
+	servers := flag.Int("servers", 1, "number of Memcached servers")
+	mem := flag.Int64("mem", 4<<20, "slab memory per server, bytes")
+	nvme := flag.Bool("nvme", false, "use Cluster B (NVMe) instead of Cluster A (SATA)")
+	script := flag.String("script", "", "operation script file (default: built-in demo)")
+	flag.Parse()
+
+	design, ok := designByName(*designName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mc-server: unknown design %q\n", *designName)
+		os.Exit(2)
+	}
+	prof := cluster.ClusterA()
+	if *nvme {
+		prof = cluster.ClusterB()
+	}
+	cl := cluster.New(cluster.Config{
+		Design:  design,
+		Profile: prof,
+		Servers: *servers,
+		ServerMem: func() int64 {
+			if *mem > 0 {
+				return *mem
+			}
+			return 4 << 20
+		}(),
+	})
+	fmt.Printf("booted %d × %s server(s) on %s\n", *servers, design, prof.Name)
+
+	text := defaultScript
+	if *script != "" {
+		b, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mc-server: %v\n", err)
+			os.Exit(1)
+		}
+		text = string(b)
+	}
+
+	c := cl.Clients[0]
+	cl.Env.Spawn("script", func(p *sim.Proc) {
+		sc := bufio.NewScanner(strings.NewReader(text))
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+				continue
+			}
+			t0 := p.Now()
+			switch fields[0] {
+			case "set":
+				if len(fields) != 3 {
+					fmt.Printf("?? bad set line: %v\n", fields)
+					continue
+				}
+				size, err := strconv.Atoi(fields[2])
+				if err != nil {
+					fmt.Printf("?? bad size: %v\n", err)
+					continue
+				}
+				st := c.Set(p, fields[1], size, "value:"+fields[1], 0, 0)
+				fmt.Printf("[%12v] SET %-16s %6d B -> %-8v (%v)\n", p.Now(), fields[1], size, st, p.Now()-t0)
+			case "get":
+				if len(fields) != 2 {
+					fmt.Printf("?? bad get line: %v\n", fields)
+					continue
+				}
+				v, size, st := c.Get(p, fields[1])
+				if st == protocol.StatusOK {
+					fmt.Printf("[%12v] GET %-16s %6d B -> %v (%v)\n", p.Now(), fields[1], size, v, p.Now()-t0)
+				} else {
+					fmt.Printf("[%12v] GET %-16s -> %-8v (%v)\n", p.Now(), fields[1], st, p.Now()-t0)
+				}
+			case "del":
+				st := c.Delete(p, fields[1])
+				fmt.Printf("[%12v] DEL %-16s -> %-8v (%v)\n", p.Now(), fields[1], st, p.Now()-t0)
+			case "sleep":
+				d, err := time.ParseDuration(fields[1])
+				if err != nil {
+					fmt.Printf("?? bad duration: %v\n", err)
+					continue
+				}
+				p.Sleep(d)
+			default:
+				fmt.Printf("?? unknown op %q\n", fields[0])
+			}
+		}
+	})
+	cl.Env.Run()
+
+	fmt.Printf("\n-- final state (virtual time %v) --\n", cl.Env.Now())
+	for i, srv := range cl.Servers {
+		st := srv.Store()
+		mgr := st.Manager()
+		fmt.Printf("server %d: keys=%d ram_items=%d ssd_items=%d flush_pages=%d drops=%d\n",
+			i, st.Len(), mgr.RAMItems(), mgr.SSDItems(), mgr.FlushPages, mgr.DropEvictions)
+	}
+}

@@ -1,0 +1,65 @@
+// mc-sweep runs the ablation studies: parameter sweeps that isolate each
+// design lever (workload skew, storage workers, buffer bound, adaptive
+// cutoff, issue window) while holding the rest of the system at the paper's
+// configuration.
+//
+// Usage:
+//
+//	mc-sweep -list
+//	mc-sweep [-full] abl-zipf abl-workers ...
+//	mc-sweep [-full] all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hybridkv/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available ablations and exit")
+	full := flag.Bool("full", false, "use the paper's full sizes")
+	ops := flag.Int("ops", 0, "override the measured operation count")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mc-sweep [-list] [-full] [-ops N] <ablation-id>... | all\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Ablations {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := bench.Options{Full: *full, Ops: *ops}
+	var ids []string
+	if len(args) == 1 && args[0] == "all" {
+		for _, e := range bench.Ablations {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+	exit := 0
+	for _, id := range ids {
+		e := bench.AblationByID(id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "mc-sweep: unknown ablation %q (try -list)\n", id)
+			exit = 1
+			continue
+		}
+		t0 := time.Now()
+		r := e.Run(opts)
+		fmt.Printf("==> %s — %s   [%v wall]\n%s\n", r.ID, e.Title, time.Since(t0).Round(time.Millisecond), r.Output)
+	}
+	os.Exit(exit)
+}

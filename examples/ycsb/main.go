@@ -1,0 +1,118 @@
+// YCSB: run the five supported YCSB core workloads against the hybrid
+// non-blocking design and the existing H-RDMA-Def baseline, printing a
+// side-by-side throughput comparison. Demonstrates the workload presets and
+// the server statistics surface.
+//
+//	go run ./examples/ycsb
+package main
+
+import (
+	"fmt"
+
+	"hybridkv/internal/cluster"
+	"hybridkv/internal/core"
+	"hybridkv/internal/protocol"
+	"hybridkv/internal/sim"
+	"hybridkv/internal/workload"
+)
+
+const (
+	serverMem = 64 << 20
+	valueSize = 8 * 1024
+	opsTotal  = 4000
+)
+
+func run(design cluster.Design, w workload.YCSB) (opsPerSec float64) {
+	cl := cluster.New(cluster.Config{
+		Design:    design,
+		Profile:   cluster.ClusterA(),
+		ServerMem: serverMem,
+	})
+	keys := int(serverMem * 3 / 2 / valueSize)
+	cl.Preload(keys, valueSize, func(i int) string { return fmt.Sprintf("obj:%010d", i) })
+
+	cfg, rmw, err := workload.YCSBConfig(w, keys, valueSize, 7)
+	if err != nil {
+		panic(err)
+	}
+	gen := workload.New(cfg)
+	c := cl.Clients[0]
+	start := cl.Env.Now()
+	cl.Env.Spawn("ycsb", func(p *sim.Proc) {
+		if design.NonBlocking() {
+			runNonBlocking(p, c, gen)
+			return
+		}
+		runBlocking(p, cl, c, gen, rmw)
+	})
+	cl.Env.Run()
+	elapsed := cl.Env.Now() - start
+	return float64(opsTotal) / elapsed.Seconds()
+}
+
+func runBlocking(p *sim.Proc, cl *cluster.Cluster, c *core.Client, gen *workload.Generator, rmw bool) {
+	for i := 0; i < opsTotal; i++ {
+		kind, key := gen.Next()
+		switch {
+		case kind == workload.OpGet:
+			if _, _, st := c.Get(p, key); st == protocol.StatusNotFound {
+				v := cl.Backend.Fetch(p, key)
+				c.Set(p, key, valueSize, v, 0, 0)
+			}
+		case rmw:
+			_, _, cas, st := c.Gets(p, key)
+			if st != protocol.StatusOK ||
+				c.CompareAndSet(p, key, valueSize, key, 0, 0, cas) != protocol.StatusStored {
+				c.Set(p, key, valueSize, key, 0, 0)
+			}
+		default:
+			c.Set(p, key, valueSize, key, 0, 0)
+		}
+	}
+}
+
+func runNonBlocking(p *sim.Proc, c *core.Client, gen *workload.Generator) {
+	const window = 32
+	left := opsTotal
+	for left > 0 {
+		n := window
+		if n > left {
+			n = left
+		}
+		reqs := make([]*core.Req, 0, n)
+		for i := 0; i < n; i++ {
+			kind, key := gen.Next()
+			var req *core.Req
+			var err error
+			if kind == workload.OpGet {
+				req, err = c.IGet(p, key)
+			} else {
+				req, err = c.ISet(p, key, valueSize, key, 0, 0)
+			}
+			if err != nil {
+				panic(err)
+			}
+			reqs = append(reqs, req)
+		}
+		c.WaitAll(p, reqs)
+		left -= n
+	}
+}
+
+func main() {
+	fmt.Printf("YCSB core workloads, 96 MB of 8 KB objects in a 64 MB hybrid server (ops/sec):\n\n")
+	fmt.Printf("  %-8s %-32s %14s %14s\n", "preset", "mix", "H-RDMA-Def", "NonB-i")
+	mixes := map[workload.YCSB]string{
+		workload.YCSBA: "50/50 read/update, zipf",
+		workload.YCSBB: "95/5 read/update, zipf",
+		workload.YCSBC: "read-only, zipf",
+		workload.YCSBD: "95/5 read/insert, latest",
+		workload.YCSBF: "50/50 read/read-modify-write",
+	}
+	for _, w := range []workload.YCSB{workload.YCSBA, workload.YCSBB, workload.YCSBC, workload.YCSBD, workload.YCSBF} {
+		def := run(cluster.HRDMADef, w)
+		nonb := run(cluster.HRDMAOptNonBI, w)
+		fmt.Printf("  %-8s %-32s %14.0f %14.0f   (%.1fx)\n",
+			workload.YCSBName(w), mixes[w], def, nonb, nonb/def)
+	}
+}

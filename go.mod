@@ -1,0 +1,3 @@
+module hybridkv
+
+go 1.24

@@ -1,0 +1,339 @@
+// Package bench implements the paper's evaluation harness: one driver per
+// workload shape and one experiment per table/figure (Section VI). Every
+// experiment builds a cluster, preloads it, runs the measurement phase, and
+// reports the same rows/series the paper plots, plus named scalar metrics
+// (improvement factors, overlap percentages) that EXPERIMENTS.md and the
+// regression tests check.
+package bench
+
+import (
+	"fmt"
+
+	"hybridkv/internal/cluster"
+	"hybridkv/internal/core"
+	"hybridkv/internal/metrics"
+	"hybridkv/internal/protocol"
+	"hybridkv/internal/sim"
+	"hybridkv/internal/workload"
+)
+
+// BlockingResult summarizes a blocking-API measurement phase.
+type BlockingResult struct {
+	SetLat  *metrics.Hist
+	GetLat  *metrics.Hist
+	AllLat  *metrics.Hist
+	Misses  int64
+	Ops     int64
+	Elapsed sim.Time
+	// Server is the server-side stage breakdown for the phase; Client the
+	// client-side one.
+	Server *metrics.Breakdown
+	Client *metrics.Breakdown
+}
+
+// snapshotServers freezes the per-server profiles.
+func snapshotServers(cl *cluster.Cluster) []*metrics.Breakdown {
+	var snaps []*metrics.Breakdown
+	for _, s := range cl.Servers {
+		snaps = append(snaps, s.Store().Prof.Snapshot())
+	}
+	return snaps
+}
+
+func diffServers(cl *cluster.Cluster, snaps []*metrics.Breakdown) *metrics.Breakdown {
+	out := metrics.NewBreakdown()
+	for i, s := range cl.Servers {
+		out.Merge(s.Store().Prof.Sub(snaps[i]))
+	}
+	return out
+}
+
+// RunBlocking executes ops blocking operations from gen on client ci,
+// emulating the web-caching contract: a Get miss fetches the value from the
+// backend (the miss penalty) and re-populates the cache. It must be called
+// outside any sim process; it runs the simulation to completion.
+func RunBlocking(cl *cluster.Cluster, gen *workload.Generator, ci, ops int) *BlockingResult {
+	res := &BlockingResult{
+		SetLat: metrics.NewHist(), GetLat: metrics.NewHist(), AllLat: metrics.NewHist(),
+	}
+	srvSnaps := snapshotServers(cl)
+	clSnap := cl.Clients[ci].Prof.Snapshot()
+	c := cl.Clients[ci]
+	start := cl.Env.Now()
+	cl.Env.Spawn(fmt.Sprintf("drv-block-%d", ci), func(p *sim.Proc) {
+		runBlockingOps(p, cl, c, gen, ops, res)
+	})
+	cl.Env.Run()
+	res.Elapsed = cl.Env.Now() - start
+	res.Ops = int64(ops)
+	res.Server = diffServers(cl, srvSnaps)
+	res.Client = c.Prof.Sub(clSnap)
+	return res
+}
+
+// runBlockingOps is the per-process body, reusable for multi-client runs.
+func runBlockingOps(p *sim.Proc, cl *cluster.Cluster, c *core.Client, gen *workload.Generator, ops int, res *BlockingResult) {
+	vs := gen.ValueSize()
+	for i := 0; i < ops; i++ {
+		kind, key := gen.Next()
+		t0 := p.Now()
+		if kind == workload.OpSet {
+			c.Set(p, key, vs, key, 0, 0)
+			d := p.Now() - t0
+			res.SetLat.Add(d)
+			res.AllLat.Add(d)
+			continue
+		}
+		_, _, st := c.Get(p, key)
+		if st == protocol.StatusNotFound {
+			// Miss: fetch from the backend and re-populate the cache.
+			res.Misses++
+			mt := p.Now()
+			v := cl.Backend.Fetch(p, key)
+			c.Prof.Add(metrics.StageMissPenalty, p.Now()-mt)
+			c.Set(p, key, vs, v, 0, 0)
+		}
+		d := p.Now() - t0
+		res.GetLat.Add(d)
+		res.AllLat.Add(d)
+	}
+}
+
+// NonBlockingResult summarizes a non-blocking measurement phase.
+type NonBlockingResult struct {
+	Ops       int64
+	Misses    int64
+	Elapsed   sim.Time
+	PerOp     sim.Time
+	IssueTime sim.Time // time the app was stuck inside issue calls
+	Server    *metrics.Breakdown
+	Client    *metrics.Breakdown
+}
+
+// RunNonBlocking issues ops operations with iset/iget (buffered=false) or
+// bset/bget (buffered=true) and waits for all completions at the end, the
+// paper's "large iteration of non-blocking Set/Get requests" methodology.
+func RunNonBlocking(cl *cluster.Cluster, gen *workload.Generator, ci, ops int, buffered bool) *NonBlockingResult {
+	res := &NonBlockingResult{}
+	srvSnaps := snapshotServers(cl)
+	c := cl.Clients[ci]
+	clSnap := c.Prof.Snapshot()
+	start := cl.Env.Now()
+	cl.Env.Spawn(fmt.Sprintf("drv-nonb-%d", ci), func(p *sim.Proc) {
+		reqs := issueAll(p, c, gen, ops, buffered, res)
+		c.WaitAll(p, reqs)
+		for _, r := range reqs {
+			if r.Status == protocol.StatusNotFound {
+				res.Misses++
+			}
+		}
+	})
+	cl.Env.Run()
+	res.Elapsed = cl.Env.Now() - start
+	res.Ops = int64(ops)
+	if ops > 0 {
+		res.PerOp = res.Elapsed / sim.Time(ops)
+	}
+	res.Server = diffServers(cl, srvSnaps)
+	res.Client = c.Prof.Sub(clSnap)
+	return res
+}
+
+func issueAll(p *sim.Proc, c *core.Client, gen *workload.Generator, ops int, buffered bool, res *NonBlockingResult) []*core.Req {
+	vs := gen.ValueSize()
+	reqs := make([]*core.Req, 0, ops)
+	for i := 0; i < ops; i++ {
+		kind, key := gen.Next()
+		t0 := p.Now()
+		var req *core.Req
+		var err error
+		switch {
+		case kind == workload.OpSet && buffered:
+			req, err = c.BSet(p, key, vs, key, 0, 0)
+		case kind == workload.OpSet:
+			req, err = c.ISet(p, key, vs, key, 0, 0)
+		case buffered:
+			req, err = c.BGet(p, key)
+		default:
+			req, err = c.IGet(p, key)
+		}
+		if err != nil {
+			panic("bench: non-blocking issue failed: " + err.Error())
+		}
+		res.IssueTime += p.Now() - t0
+		reqs = append(reqs, req)
+	}
+	return reqs
+}
+
+// OverlapResult reports the communication/computation overlap experiment.
+type OverlapResult struct {
+	Ops         int64
+	Elapsed     sim.Time
+	ComputeTime sim.Time
+	OverlapPct  float64
+}
+
+// computeGrain is the unit of application computation interleaved with
+// in-flight operations when measuring available overlap.
+const computeGrain = 5 * sim.Microsecond
+
+// RunOverlap measures the fraction of job runtime available for application
+// computation (Figure 7(a)): issue every op non-blockingly, then compute in
+// grains, testing completion between grains; overlap% = compute/total.
+// Blocking mode (mode="block") runs ops back-to-back — no overlap by
+// construction — and reports the measured (≈0) figure.
+func RunOverlap(cl *cluster.Cluster, gen *workload.Generator, ci, ops int, mode string) *OverlapResult {
+	res := &OverlapResult{Ops: int64(ops)}
+	c := cl.Clients[ci]
+	start := cl.Env.Now()
+	cl.Env.Spawn("drv-overlap", func(p *sim.Proc) {
+		switch mode {
+		case "block":
+			vs := gen.ValueSize()
+			for i := 0; i < ops; i++ {
+				kind, key := gen.Next()
+				if kind == workload.OpSet {
+					c.Set(p, key, vs, key, 0, 0)
+				} else {
+					c.Get(p, key)
+				}
+			}
+		case "nonb-i", "nonb-b":
+			nb := &NonBlockingResult{}
+			reqs := issueAll(p, c, gen, ops, mode == "nonb-b", nb)
+			// Application computation fills the time until completion.
+			for {
+				done := true
+				for _, r := range reqs {
+					if !c.Test(r) {
+						done = false
+						break
+					}
+				}
+				if done {
+					break
+				}
+				p.Sleep(computeGrain)
+				res.ComputeTime += computeGrain
+			}
+		default:
+			panic("bench: unknown overlap mode " + mode)
+		}
+	})
+	cl.Env.Run()
+	res.Elapsed = cl.Env.Now() - start
+	if res.Elapsed > 0 {
+		res.OverlapPct = 100 * float64(res.ComputeTime) / float64(res.Elapsed)
+	}
+	return res
+}
+
+// BlockIOResult reports the bursty block I/O experiment.
+type BlockIOResult struct {
+	Blocks        int
+	WriteBlockLat *metrics.Hist
+	ReadBlockLat  *metrics.Hist
+}
+
+// RunBlockIO writes then reads every block of the workload. Non-blocking
+// mode issues all chunks of a block and waits block-by-block (Listing 2);
+// blocking mode round-trips each chunk.
+func RunBlockIO(cl *cluster.Cluster, bc workload.BlockConfig, ci int, nonblocking bool) *BlockIOResult {
+	res := &BlockIOResult{
+		Blocks:        bc.Blocks(),
+		WriteBlockLat: metrics.NewHist(),
+		ReadBlockLat:  metrics.NewHist(),
+	}
+	c := cl.Clients[ci]
+	chunks := bc.ChunksPerBlock()
+	cl.Env.Spawn("drv-blockio", func(p *sim.Proc) {
+		// Write phase.
+		for blk := 0; blk < res.Blocks; blk++ {
+			t0 := p.Now()
+			if nonblocking {
+				reqs := make([]*core.Req, 0, chunks)
+				for ch := 0; ch < chunks; ch++ {
+					req, err := c.ISet(p, bc.ChunkKey(blk, ch), bc.ChunkSize, blk*chunks+ch, 0, 0)
+					if err != nil {
+						panic(err)
+					}
+					reqs = append(reqs, req)
+				}
+				c.WaitAll(p, reqs)
+			} else {
+				for ch := 0; ch < chunks; ch++ {
+					c.Set(p, bc.ChunkKey(blk, ch), bc.ChunkSize, blk*chunks+ch, 0, 0)
+				}
+			}
+			res.WriteBlockLat.Add(p.Now() - t0)
+		}
+		// Read phase.
+		for blk := 0; blk < res.Blocks; blk++ {
+			t0 := p.Now()
+			if nonblocking {
+				reqs := make([]*core.Req, 0, chunks)
+				for ch := 0; ch < chunks; ch++ {
+					req, err := c.IGet(p, bc.ChunkKey(blk, ch))
+					if err != nil {
+						panic(err)
+					}
+					reqs = append(reqs, req)
+				}
+				c.WaitAll(p, reqs)
+			} else {
+				for ch := 0; ch < chunks; ch++ {
+					c.Get(p, bc.ChunkKey(blk, ch))
+				}
+			}
+			res.ReadBlockLat.Add(p.Now() - t0)
+		}
+	})
+	cl.Env.Run()
+	return res
+}
+
+// ThroughputResult reports a multi-client aggregate throughput phase.
+type ThroughputResult struct {
+	Ops     int64
+	Elapsed sim.Time
+	OpsPerS float64
+}
+
+// RunThroughput drives every client concurrently with opsPerClient ops
+// each and reports aggregate operations/second. Non-blocking clients
+// pipeline in windows of window ops.
+func RunThroughput(cl *cluster.Cluster, mk func(ci int) *workload.Generator, opsPerClient int, nonblocking, buffered bool, window int) *ThroughputResult {
+	if window <= 0 {
+		window = 32
+	}
+	res := &ThroughputResult{}
+	start := cl.Env.Now()
+	for ci := range cl.Clients {
+		c := cl.Clients[ci]
+		gen := mk(ci)
+		cl.Env.Spawn(fmt.Sprintf("drv-tput-%d", ci), func(p *sim.Proc) {
+			if !nonblocking {
+				r := &BlockingResult{SetLat: metrics.NewHist(), GetLat: metrics.NewHist(), AllLat: metrics.NewHist()}
+				runBlockingOps(p, cl, c, gen, opsPerClient, r)
+				return
+			}
+			nb := &NonBlockingResult{}
+			left := opsPerClient
+			for left > 0 {
+				n := window
+				if n > left {
+					n = left
+				}
+				reqs := issueAll(p, c, gen, n, buffered, nb)
+				c.WaitAll(p, reqs)
+				left -= n
+			}
+		})
+	}
+	cl.Env.Run()
+	res.Elapsed = cl.Env.Now() - start
+	res.Ops = int64(opsPerClient * len(cl.Clients))
+	res.OpsPerS = metrics.Throughput(res.Ops, res.Elapsed)
+	return res
+}

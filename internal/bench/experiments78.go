@@ -1,0 +1,294 @@
+package bench
+
+import (
+	"fmt"
+
+	"hybridkv/internal/cluster"
+	"hybridkv/internal/metrics"
+	"hybridkv/internal/workload"
+)
+
+// --- Figure 7(a): communication/computation overlap ---
+
+func fig7a(o Options) *Result {
+	res := newResult("fig7a", "Figure 7(a): Overlap% with different workload patterns (hybrid server, data > memory)")
+	mem, kv, opsDef := o.geometry()
+	dataBytes := mem * 3 / 2
+	ops := o.ops(opsDef) / 2
+	modes := []struct {
+		label  string
+		design cluster.Design
+		mode   string
+	}{
+		{"RDMA-Block", cluster.HRDMAOptBlock, "block"},
+		{"RDMA-NonB-b", cluster.HRDMAOptNonBB, "nonb-b"},
+		{"RDMA-NonB-i", cluster.HRDMAOptNonBI, "nonb-i"},
+	}
+	readOnly := &metrics.Series{Name: "read-only %"}
+	writeHeavy := &metrics.Series{Name: "write-heavy %"}
+	for _, m := range modes {
+		for _, mix := range []struct {
+			name string
+			read float64
+			out  *metrics.Series
+		}{{"read-only", 1.0, readOnly}, {"write-heavy", 0.5, writeHeavy}} {
+			cl, keys := buildAndPreload(m.design, cluster.ClusterA(), mem, dataBytes, kv, 1, 1)
+			gen := workload.New(workload.Config{
+				Keys: keys, ValueSize: kv, ReadFraction: mix.read,
+				Pattern: workload.Zipf, ZipfS: zipfOver, Seed: 11,
+			})
+			r := RunOverlap(cl, gen, 0, ops, m.mode)
+			mix.out.Append(m.label, r.OverlapPct)
+			res.metric(fmt.Sprintf("%s.%s.overlap_pct", m.label, mix.name), r.OverlapPct)
+		}
+	}
+	res.Output = res.addTable(res.Title, readOnly, writeHeavy) + res.renderMetrics()
+	return res
+}
+
+// --- Figure 7(b): performance with varying key-value pair sizes ---
+
+func fig7b(o Options) *Result {
+	res := newResult("fig7b", "Figure 7(b): Average latency with varying key-value pair sizes (hybrid, data > memory)")
+	mem, _, opsDef := o.geometry()
+	mem /= 2 // keep preload volume manageable across the size sweep
+	ops := o.ops(opsDef) / 2
+	sizes := []int{1024, 4096, 16 * 1024, 64 * 1024, 128 * 1024}
+	designs := []cluster.Design{cluster.HRDMADef, cluster.HRDMAOptBlock, cluster.HRDMAOptNonBB, cluster.HRDMAOptNonBI}
+	series := map[cluster.Design]*metrics.Series{}
+	for _, d := range designs {
+		series[d] = &metrics.Series{Name: d.String()}
+	}
+	for _, kv := range sizes {
+		dataBytes := mem * 3 / 2
+		for _, d := range designs {
+			cl, keys := buildAndPreload(d, cluster.ClusterA(), mem, dataBytes, kv, 1, 1)
+			gen := workload.New(workload.Config{
+				Keys: keys, ValueSize: kv, ReadFraction: 0.5,
+				Pattern: workload.Zipf, ZipfS: zipfOver, Seed: 13,
+			})
+			var avgUs float64
+			if d.NonBlocking() {
+				r := RunNonBlocking(cl, gen, 0, ops, d.BufferGuarantee())
+				avgUs = us(r.PerOp)
+			} else {
+				r := RunBlocking(cl, gen, 0, ops)
+				avgUs = us(r.AllLat.Mean())
+			}
+			label := fmt.Sprintf("%dKB", kv/1024)
+			series[d].Append(label, avgUs)
+			res.metric(fmt.Sprintf("%s.%s_us", d, label), avgUs)
+		}
+	}
+	// Paper: NonB improves 65-89% over both blocking designs across sizes.
+	for _, kv := range sizes {
+		label := fmt.Sprintf("%dKB", kv/1024)
+		def := res.Metrics[fmt.Sprintf("%s.%s_us", cluster.HRDMADef, label)]
+		nbi := res.Metrics[fmt.Sprintf("%s.%s_us", cluster.HRDMAOptNonBI, label)]
+		if def > 0 {
+			res.metric(fmt.Sprintf("improvement_pct.nonb_i_vs_def.%s", label), 100*(1-nbi/def))
+		}
+	}
+	res.Output = res.addTable(res.Title,
+		series[cluster.HRDMADef], series[cluster.HRDMAOptBlock],
+		series[cluster.HRDMAOptNonBB], series[cluster.HRDMAOptNonBI]) + res.renderMetrics()
+	return res
+}
+
+// --- Figure 7(c): aggregated server throughput scalability ---
+
+func fig7c(o Options) *Result {
+	res := newResult("fig7c", "Figure 7(c): Aggregated throughput, 100 clients, 4 servers (8 KB kv, 2:1 overcommit)")
+	// Paper geometry: 4 servers with 1 GB aggregate RAM, 4 GB SSD cap,
+	// preload 2 GB of 8 KB pairs, 100 clients on 32 nodes. Scaled: the
+	// 2:1 dataset:RAM ratio and client:server ratio are preserved.
+	servers := 4
+	clients := 100
+	aggMem := int64(1 << 30)
+	kv := 8 * 1024
+	if !o.Full {
+		aggMem = 256 << 20
+		clients = 50
+	}
+	opsPer := o.ops(48000) / clients * 2
+	dataBytes := 2 * aggMem
+	designs := []struct {
+		label       string
+		design      cluster.Design
+		nonblocking bool
+		buffered    bool
+	}{
+		{"H-RDMA-Def-Block", cluster.HRDMADef, false, false},
+		{"H-RDMA-Opt-Block", cluster.HRDMAOptBlock, false, false},
+		{"H-RDMA-Opt-NonB-b", cluster.HRDMAOptNonBB, true, true},
+		{"H-RDMA-Opt-NonB-i", cluster.HRDMAOptNonBI, true, false},
+	}
+	tput := &metrics.Series{Name: "ops/sec"}
+	for _, d := range designs {
+		cl := cluster.New(cluster.Config{
+			Design:      d.design,
+			Profile:     cluster.ClusterA(),
+			Servers:     servers,
+			Clients:     clients,
+			ServerMem:   aggMem / int64(servers),
+			SSDCapacity: 4 * aggMem / int64(servers),
+		})
+		keys := int(dataBytes / int64(kv))
+		cl.Preload(keys, kv, keyOf)
+		r := RunThroughput(cl, func(ci int) *workload.Generator {
+			return workload.New(workload.Config{
+				Keys: keys, ValueSize: kv, ReadFraction: 0.5,
+				Pattern: workload.Zipf, ZipfS: zipfOver, Seed: int64(100 + ci),
+			})
+		}, opsPer, d.nonblocking, d.buffered, 32)
+		tput.Append(d.label, r.OpsPerS)
+		res.metric(d.label+".ops_per_sec", r.OpsPerS)
+	}
+	def := res.Metrics["H-RDMA-Def-Block.ops_per_sec"]
+	opt := res.Metrics["H-RDMA-Opt-Block.ops_per_sec"]
+	if def > 0 {
+		res.metric("speedup.optblock_vs_def", opt/def)
+	}
+	if opt > 0 {
+		res.metric("speedup.nonb_i_vs_block", res.Metrics["H-RDMA-Opt-NonB-i.ops_per_sec"]/opt)
+		res.metric("speedup.nonb_b_vs_block", res.Metrics["H-RDMA-Opt-NonB-b.ops_per_sec"]/opt)
+	}
+	res.Output = res.addTable(res.Title, tput) + res.renderMetrics()
+	return res
+}
+
+// --- Figure 8(a): SATA vs NVMe with read-only and write-heavy mixes ---
+
+func fig8a(o Options) *Result {
+	res := newResult("fig8a", "Figure 8(a): Latency with SATA (Cluster A) vs NVMe (Cluster B), data > memory")
+	mem, kv, opsDef := o.geometry()
+	dataBytes := mem * 3 / 2
+	ops := o.ops(opsDef) / 2
+	designs := []struct {
+		label       string
+		design      cluster.Design
+		nonblocking bool
+		buffered    bool
+	}{
+		{"H-RDMA-Def-Block", cluster.HRDMADef, false, false},
+		{"H-RDMA-Opt-Block", cluster.HRDMAOptBlock, false, false},
+		{"H-RDMA-Opt-NonB-b", cluster.HRDMAOptNonBB, true, true},
+		{"H-RDMA-Opt-NonB-i", cluster.HRDMAOptNonBI, true, false},
+	}
+	var cols []*metrics.Series
+	for _, prof := range []cluster.Profile{cluster.ClusterA(), cluster.ClusterB()} {
+		ssd := "SATA"
+		if prof.SSD.Name == "NVMe-SSD" {
+			ssd = "NVMe"
+		}
+		for _, mix := range []struct {
+			name string
+			read float64
+		}{{"read-only", 1.0}, {"write-heavy", 0.5}} {
+			col := &metrics.Series{Name: ssd + " " + mix.name}
+			for _, d := range designs {
+				cl, keys := buildAndPreload(d.design, prof, mem, dataBytes, kv, 1, 1)
+				gen := workload.New(workload.Config{
+					Keys: keys, ValueSize: kv, ReadFraction: mix.read,
+					Pattern: workload.Zipf, ZipfS: zipfOver, Seed: 17,
+				})
+				var avgUs float64
+				if d.nonblocking {
+					r := RunNonBlocking(cl, gen, 0, ops, d.buffered)
+					avgUs = us(r.PerOp)
+				} else {
+					r := RunBlocking(cl, gen, 0, ops)
+					avgUs = us(r.AllLat.Mean())
+				}
+				col.Append(d.label, avgUs)
+				res.metric(fmt.Sprintf("%s.%s.%s_us", ssd, mix.name, d.label), avgUs)
+			}
+			cols = append(cols, col)
+		}
+	}
+	for _, ssd := range []string{"SATA", "NVMe"} {
+		for _, mix := range []string{"read-only", "write-heavy"} {
+			def := res.Metrics[fmt.Sprintf("%s.%s.H-RDMA-Def-Block_us", ssd, mix)]
+			opt := res.Metrics[fmt.Sprintf("%s.%s.H-RDMA-Opt-Block_us", ssd, mix)]
+			nbi := res.Metrics[fmt.Sprintf("%s.%s.H-RDMA-Opt-NonB-i_us", ssd, mix)]
+			if def > 0 {
+				res.metric(fmt.Sprintf("improvement_pct.opt_vs_def.%s.%s", ssd, mix), 100*(1-opt/def))
+				res.metric(fmt.Sprintf("improvement_pct.nonb_i_vs_def.%s.%s", ssd, mix), 100*(1-nbi/def))
+			}
+		}
+	}
+	res.Output = res.addTable(res.Title, cols...) + res.renderMetrics()
+	return res
+}
+
+// --- Figure 8(b): bursty block I/O workload ---
+
+func fig8b(o Options) *Result {
+	res := newResult("fig8b", "Figure 8(b): Bursty block I/O latency (4 servers, 256 KB chunks)")
+	aggMem := int64(256 << 20)
+	total := int64(1 << 30)
+	if o.Full {
+		aggMem = 1 << 30
+		total = 4 << 30
+	}
+	servers := 4
+	var cols []*metrics.Series
+	for _, prof := range []cluster.Profile{cluster.ClusterB(), cluster.ClusterA()} {
+		ssd := "SATA"
+		if prof.SSD.Name == "NVMe-SSD" {
+			ssd = "NVMe"
+		}
+		for _, blockSize := range []int{2 << 20, 16 << 20} {
+			colW := &metrics.Series{Name: fmt.Sprintf("%s %dMB wr ms", ssd, blockSize>>20)}
+			colR := &metrics.Series{Name: fmt.Sprintf("%s %dMB rd ms", ssd, blockSize>>20)}
+			for _, mode := range []struct {
+				label  string
+				design cluster.Design
+				nonb   bool
+			}{
+				{"H-RDMA-Opt-Block", cluster.HRDMAOptBlock, false},
+				{"H-RDMA-Opt-NonB-i", cluster.HRDMAOptNonBI, true},
+			} {
+				cl := cluster.New(cluster.Config{
+					Design:    mode.design,
+					Profile:   prof,
+					Servers:   servers,
+					ServerMem: aggMem / int64(servers),
+				})
+				bc := workload.BlockConfig{
+					BlockSize: blockSize, ChunkSize: 256 * 1024, TotalBytes: total,
+				}
+				r := RunBlockIO(cl, bc, 0, mode.nonb)
+				wms := us(r.WriteBlockLat.Mean()) / 1000
+				rms := us(r.ReadBlockLat.Mean()) / 1000
+				colW.Append(mode.label, wms)
+				colR.Append(mode.label, rms)
+				res.metric(fmt.Sprintf("%s.%dMB.%s.write_ms", ssd, blockSize>>20, mode.label), wms)
+				res.metric(fmt.Sprintf("%s.%dMB.%s.read_ms", ssd, blockSize>>20, mode.label), rms)
+			}
+			cols = append(cols, colW, colR)
+		}
+	}
+	for _, ssd := range []string{"SATA", "NVMe"} {
+		for _, mb := range []int{2, 16} {
+			blkW := res.Metrics[fmt.Sprintf("%s.%dMB.H-RDMA-Opt-Block.write_ms", ssd, mb)]
+			nbiW := res.Metrics[fmt.Sprintf("%s.%dMB.H-RDMA-Opt-NonB-i.write_ms", ssd, mb)]
+			blkR := res.Metrics[fmt.Sprintf("%s.%dMB.H-RDMA-Opt-Block.read_ms", ssd, mb)]
+			nbiR := res.Metrics[fmt.Sprintf("%s.%dMB.H-RDMA-Opt-NonB-i.read_ms", ssd, mb)]
+			if blkW > 0 {
+				res.metric(fmt.Sprintf("improvement_pct.write.%s.%dMB", ssd, mb), 100*(1-nbiW/blkW))
+			}
+			if blkR > 0 {
+				res.metric(fmt.Sprintf("improvement_pct.read.%s.%dMB", ssd, mb), 100*(1-nbiR/blkR))
+			}
+			// The paper's headline is block *access* latency — the
+			// write+read round trip of a block through the cluster.
+			if blkW+blkR > 0 {
+				res.metric(fmt.Sprintf("improvement_pct.access.%s.%dMB", ssd, mb),
+					100*(1-(nbiW+nbiR)/(blkW+blkR)))
+			}
+		}
+	}
+	res.Output = res.addTable(res.Title, cols...) + res.renderMetrics()
+	return res
+}

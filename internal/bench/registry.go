@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one reproducible table/figure from the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) *Result
+}
+
+// Registry lists every experiment in paper order.
+var Registry = []Experiment{
+	{"tbl1", "Design comparison with existing work (Table I)", table1},
+	{"fig1a", "Overall Set/Get latency, data fits in memory", func(o Options) *Result { return fig1(o, true) }},
+	{"fig1b", "Overall Set/Get latency, data exceeds memory", func(o Options) *Result { return fig1(o, false) }},
+	{"fig2a", "Six-stage breakdown, data fits in memory", func(o Options) *Result { return fig2(o, true) }},
+	{"fig2b", "Six-stage breakdown, data exceeds memory", func(o Options) *Result { return fig2(o, false) }},
+	{"fig4", "Eviction I/O schemes across data sizes", fig4},
+	{"fig6a", "Breakdown with proposed designs, data fits", func(o Options) *Result { return fig6(o, true) }},
+	{"fig6b", "Breakdown with proposed designs, data exceeds memory", func(o Options) *Result { return fig6(o, false) }},
+	{"fig7a", "Overlap% with different workload patterns", fig7a},
+	{"fig7b", "Latency with varying key-value pair sizes", fig7b},
+	{"fig7c", "Aggregated throughput scalability", fig7c},
+	{"fig8a", "SATA vs NVMe, read-only and write-heavy", fig8a},
+	{"fig8b", "Bursty block I/O workload", fig8b},
+}
+
+// ByID finds an experiment, or nil.
+func ByID(id string) *Experiment {
+	for i := range Registry {
+		if Registry[i].ID == id {
+			return &Registry[i]
+		}
+	}
+	return nil
+}
+
+// IDs returns every registered experiment id, sorted.
+func IDs() []string {
+	ids := make([]string, len(Registry))
+	for i, e := range Registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunAll executes every experiment and streams results to w.
+func RunAll(w io.Writer, o Options) []*Result {
+	var out []*Result
+	for _, e := range Registry {
+		r := e.Run(o)
+		out = append(out, r)
+		fmt.Fprintf(w, "==> %s — %s\n%s\n", r.ID, e.Title, r.Output)
+	}
+	return out
+}

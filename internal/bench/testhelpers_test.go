@@ -1,0 +1,19 @@
+package bench
+
+import (
+	"hybridkv/internal/cluster"
+	"hybridkv/internal/workload"
+)
+
+// Small helpers keeping the driver sanity tests readable.
+
+func clusterDesignForTest() cluster.Design   { return cluster.RDMAMem }
+func nonbDesignForTest() cluster.Design      { return cluster.HRDMAOptNonBI }
+func clusterProfileForTest() cluster.Profile { return cluster.ClusterA() }
+
+func workloadForTest(keys, kv int) *workload.Generator {
+	return workload.New(workload.Config{
+		Keys: keys, ValueSize: kv, ReadFraction: 0.5,
+		Pattern: workload.Zipf, ZipfS: 0.99, Seed: 5,
+	})
+}

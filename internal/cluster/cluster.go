@@ -1,0 +1,298 @@
+// Package cluster assembles complete simulated deployments: a fabric, N
+// Memcached servers, M clients, and a backend database, configured as one
+// of the six designs the paper evaluates (Table I / Section VI-B) on one of
+// the two testbeds (SDSC Comet with SATA SSDs, OSU NowLab with NVMe SSDs).
+package cluster
+
+import (
+	"fmt"
+
+	"hybridkv/internal/backend"
+	"hybridkv/internal/blockdev"
+	"hybridkv/internal/core"
+	"hybridkv/internal/hybridslab"
+	"hybridkv/internal/pagecache"
+	"hybridkv/internal/server"
+	"hybridkv/internal/sim"
+	"hybridkv/internal/simnet"
+	"hybridkv/internal/slab"
+	"hybridkv/internal/store"
+)
+
+// Design identifies one end-to-end configuration from the paper.
+type Design int
+
+const (
+	// IPoIBMem is default Memcached + libmemcached over IP-over-IB.
+	IPoIBMem Design = iota
+	// RDMAMem is in-memory RDMA-based Memcached (Jose et al. [10]).
+	RDMAMem
+	// HRDMADef is the existing SSD-assisted hybrid design with direct I/O
+	// and a synchronous server (Ouyang et al. [17]).
+	HRDMADef
+	// HRDMAOptBlock adds this paper's adaptive slab I/O, blocking APIs.
+	HRDMAOptBlock
+	// HRDMAOptNonBB adds the async server and bset/bget
+	// (buffer-reuse-guaranteed non-blocking extensions).
+	HRDMAOptNonBB
+	// HRDMAOptNonBI uses iset/iget (purely non-blocking extensions).
+	HRDMAOptNonBI
+)
+
+// Designs lists every design in presentation order.
+var Designs = []Design{IPoIBMem, RDMAMem, HRDMADef, HRDMAOptBlock, HRDMAOptNonBB, HRDMAOptNonBI}
+
+func (d Design) String() string {
+	switch d {
+	case IPoIBMem:
+		return "IPoIB-Mem"
+	case RDMAMem:
+		return "RDMA-Mem"
+	case HRDMADef:
+		return "H-RDMA-Def"
+	case HRDMAOptBlock:
+		return "H-RDMA-Opt-Block"
+	case HRDMAOptNonBB:
+		return "H-RDMA-Opt-NonB-b"
+	case HRDMAOptNonBI:
+		return "H-RDMA-Opt-NonB-i"
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// Transport returns the design's network stack.
+func (d Design) Transport() core.Transport {
+	if d == IPoIBMem {
+		return core.IPoIB
+	}
+	return core.RDMA
+}
+
+// Hybrid reports whether the design attaches SSDs.
+func (d Design) Hybrid() bool {
+	return d == HRDMADef || d == HRDMAOptBlock || d == HRDMAOptNonBB || d == HRDMAOptNonBI
+}
+
+// Policy returns the design's slab I/O policy.
+func (d Design) Policy() hybridslab.IOPolicy {
+	if d == HRDMADef {
+		return hybridslab.PolicyDirect
+	}
+	return hybridslab.PolicyAdaptive
+}
+
+// Pipeline returns the design's server pipeline.
+func (d Design) Pipeline() server.Pipeline {
+	if d == HRDMAOptNonBB || d == HRDMAOptNonBI {
+		return server.Async
+	}
+	return server.Sync
+}
+
+// NonBlocking reports whether the design's client uses the non-blocking
+// API extensions.
+func (d Design) NonBlocking() bool {
+	return d == HRDMAOptNonBB || d == HRDMAOptNonBI
+}
+
+// BufferGuarantee reports whether the design's non-blocking variant
+// guarantees buffer reuse on return (bset/bget vs iset/iget).
+func (d Design) BufferGuarantee() bool { return d == HRDMAOptNonBB }
+
+// Profile describes one testbed's hardware.
+type Profile struct {
+	Name      string
+	SSD       blockdev.Profile
+	PageCache pagecache.Params
+}
+
+// ClusterA models SDSC Comet: FDR InfiniBand + local SATA SSDs.
+func ClusterA() Profile {
+	return Profile{Name: "Cluster-A(SDSC-Comet,SATA)", SSD: blockdev.SATA(), PageCache: pagecache.DefaultParams()}
+}
+
+// ClusterB models OSU NowLab: FDR InfiniBand + Intel P3700 NVMe SSDs.
+func ClusterB() Profile {
+	return Profile{Name: "Cluster-B(OSU-NowLab,NVMe)", SSD: blockdev.NVMe(), PageCache: pagecache.DefaultParams()}
+}
+
+// Config sizes one deployment.
+type Config struct {
+	Design  Design
+	Profile Profile
+	// Servers and Clients are node counts (default 1 and 1).
+	Servers int
+	Clients int
+	// ServerMem is the slab memory budget per server (the -m flag).
+	ServerMem int64
+	// SSDCapacity bounds hybrid overflow per server (0 = 16 GB arena).
+	SSDCapacity int64
+	// BackendPenalty overrides the miss penalty (0 = paper default).
+	BackendPenalty sim.Time
+	// StorageWorkers / BufferBytes tune the async server (0 = defaults).
+	StorageWorkers int
+	BufferBytes    int
+	// AdaptiveCutoff overrides the mmap/cached class boundary.
+	AdaptiveCutoff int
+	// AsyncFlush enables write-behind eviction (paper future work).
+	AsyncFlush bool
+}
+
+// Cluster is one assembled deployment.
+type Cluster struct {
+	Env     *sim.Env
+	Fabric  *simnet.Fabric
+	Servers []*server.Server
+	Clients []*core.Client
+	Backend *backend.DB
+	Design  Design
+	Profile Profile
+	Devices []*blockdev.Device
+	Caches  []*pagecache.Cache
+}
+
+// New builds and starts a deployment.
+func New(cfg Config) *Cluster {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 1
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.ServerMem <= 0 {
+		cfg.ServerMem = 1 << 30
+	}
+	env := sim.NewEnv()
+	spec := simnet.FDRInfiniBand()
+	if cfg.Design.Transport() == core.IPoIB {
+		spec = simnet.IPoIB()
+	}
+	fab := simnet.New(env, spec)
+	cl := &Cluster{
+		Env:     env,
+		Fabric:  fab,
+		Design:  cfg.Design,
+		Profile: cfg.Profile,
+		Backend: backend.New(env, backend.Config{Penalty: cfg.BackendPenalty}),
+	}
+	// The page-cache budget scales with the server's slab memory (the
+	// testbed nodes had 64-128 GB of RAM, so the cache was never the
+	// scarce resource): half the slab budget, watermarks proportional.
+	// At the default scaled geometry this equals DefaultParams exactly.
+	pcPar := cfg.Profile.PageCache
+	if pages := int(cfg.ServerMem / 2 / int64(pcPar.PageSize)); pages > pcPar.MaxPages {
+		pcPar.MaxPages = pages
+		pcPar.DirtyHighPages = pages / 4
+		pcPar.ThrottlePages = pages / 2
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		node := fab.AddNode(fmt.Sprintf("server%d", i))
+		var file *pagecache.File
+		if cfg.Design.Hybrid() {
+			arena := cfg.SSDCapacity
+			if arena <= 0 {
+				arena = 16 << 30
+			}
+			dev := blockdev.New(env, cfg.Profile.SSD, 2*arena)
+			cache := pagecache.New(env, dev, pcPar)
+			file = cache.OpenFile(0, 2*arena)
+			cl.Devices = append(cl.Devices, dev)
+			cl.Caches = append(cl.Caches, cache)
+		}
+		mgr := hybridslab.New(env, hybridslab.Config{
+			Slab:           slab.Config{MemLimit: cfg.ServerMem},
+			Policy:         cfg.Design.Policy(),
+			AdaptiveCutoff: cfg.AdaptiveCutoff,
+			SSDCapacity:    cfg.SSDCapacity,
+			AsyncFlush:     cfg.AsyncFlush,
+		}, file)
+		st := store.New(env, mgr)
+		scfg := server.Config{
+			Pipeline:       cfg.Design.Pipeline(),
+			StorageWorkers: cfg.StorageWorkers,
+			BufferBytes:    cfg.BufferBytes,
+		}
+		var srv *server.Server
+		if cfg.Design.Transport() == core.RDMA {
+			srv = server.NewRDMA(env, node, st, scfg)
+		} else {
+			srv = server.NewIPoIB(env, node, st, scfg)
+		}
+		srv.Start()
+		cl.Servers = append(cl.Servers, srv)
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		node := fab.AddNode(fmt.Sprintf("client%d", i))
+		c := core.New(env, node, core.Config{Transport: cfg.Design.Transport()})
+		for _, srv := range cl.Servers {
+			if cfg.Design.Transport() == core.RDMA {
+				c.ConnectRDMA(srv)
+			} else {
+				c.ConnectIPoIB(srv)
+			}
+		}
+		cl.Clients = append(cl.Clients, c)
+	}
+	return cl
+}
+
+// Preload stores n keys of valueSize bytes through client 0 using blocking
+// sets (Sequential order), lets background writeback settle, and returns
+// the virtual time consumed. The caller's measurement starts after this.
+func (cl *Cluster) Preload(n, valueSize int, keyOf func(int) string) sim.Time {
+	start := cl.Env.Now()
+	cl.Env.Spawn("preload", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			cl.Clients[0].Set(p, keyOf(i), valueSize, fmt.Sprintf("v%d", i), 0, 0)
+		}
+	})
+	cl.Env.Run()
+	cl.SettleIO()
+	return cl.Env.Now() - start
+}
+
+// SettleIO runs the simulation until the page caches have written back the
+// bulk of their dirty pages, so measurements start from a steady state
+// rather than competing with the preload's writeback backlog.
+func (cl *Cluster) SettleIO() {
+	if len(cl.Caches) == 0 {
+		return
+	}
+	cl.Env.Spawn("settle", func(p *sim.Proc) {
+		for {
+			settled := true
+			for _, c := range cl.Caches {
+				// The flusher daemon drains to half the high watermark
+				// and then idles; that is the steady state. Kick it in
+				// case dirty sits below the kick watermark but above it.
+				if c.Dirty() > c.Params().DirtyHighPages/2 {
+					c.Kick()
+					settled = false
+				}
+			}
+			if settled {
+				return
+			}
+			p.Sleep(5 * sim.Millisecond)
+		}
+	})
+	cl.Env.Run()
+}
+
+// TotalSetOps sums Set operations across servers.
+func (cl *Cluster) TotalSetOps() int64 {
+	var n int64
+	for _, s := range cl.Servers {
+		n += s.Store().SetOps
+	}
+	return n
+}
+
+// TotalGetOps sums Get operations across servers.
+func (cl *Cluster) TotalGetOps() int64 {
+	var n int64
+	for _, s := range cl.Servers {
+		n += s.Store().GetOps
+	}
+	return n
+}

@@ -1,0 +1,495 @@
+// Package core implements the paper's primary contribution: a
+// libmemcached-style client with the proposed non-blocking API extensions
+// (Section IV, Listing 1) and the enhanced runtime that supports them
+// (Section V-A, Figure 3).
+//
+// API mapping from the paper's C extensions to Go:
+//
+//	memcached_set/get/delete → Client.Set / Client.Get / Client.Delete
+//	memcached_iset/iget      → Client.ISet / Client.IGet   (purely
+//	    non-blocking: return once the request is handed to the RDMA
+//	    communication engine; key/value buffers NOT yet reusable)
+//	memcached_bset/bget      → Client.BSet / Client.BGet   (return once the
+//	    user's key/value buffers are reusable, i.e. the data has left the
+//	    NIC or — on an async server — is buffered remotely)
+//	memcached_test/wait      → Client.Test / Client.Wait (+ WaitAll)
+//	memcached_req            → Req (completion flag, response buffer,
+//	    status, timing)
+//
+// Runtime structure per connection (violet/red/green paths of Figure 3):
+// a TX engine process drains an issue queue, respecting per-connection
+// flow-control credits (the server's pre-posted receive depth), posts the
+// work request, and fires the request's buffer-reusable event at DMA-sent
+// time; a progress engine process polls the receive CQ, returns credits on
+// BufferAck/Response, copies fetched values into the user's buffer, and
+// fires the completion flag.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hybridkv/internal/metrics"
+	"hybridkv/internal/protocol"
+	"hybridkv/internal/sim"
+	"hybridkv/internal/simnet"
+	"hybridkv/internal/verbs"
+)
+
+// Transport selects the wire protocol stack.
+type Transport int
+
+const (
+	RDMA Transport = iota
+	IPoIB
+)
+
+func (t Transport) String() string {
+	if t == IPoIB {
+		return "ipoib"
+	}
+	return "rdma"
+}
+
+// Config tunes a client.
+type Config struct {
+	// Transport selects RDMA verbs or IPoIB sockets.
+	Transport Transport
+	// MaxValue sizes the registered response region (default 1 MB + 4 KB).
+	MaxValue int
+	// PrepCost is the library-side cost to build a request header
+	// (default 300 ns).
+	PrepCost sim.Time
+	// AckWanted forces BufferAcks for i-variants too; normally only
+	// b-variants request acks, and sync servers ignore the flag.
+	AckWanted bool
+}
+
+func (c *Config) fill() {
+	if c.MaxValue <= 0 {
+		c.MaxValue = 1<<20 + 4096
+	}
+	if c.PrepCost <= 0 {
+		c.PrepCost = 300 * sim.Nanosecond
+	}
+}
+
+// Host-side copy bandwidth for landing fetched values in user buffers.
+const memcpyBps = 8_000_000_000
+
+func memcpyTime(size int) sim.Time {
+	if size <= 0 {
+		return 0
+	}
+	return sim.Time(float64(size) / float64(memcpyBps) * float64(sim.Second))
+}
+
+// Req is the memcached_req analog: the handle for one in-flight operation.
+type Req struct {
+	// ID is the request id on the wire.
+	ID uint64
+	// Op is the issued opcode.
+	Op protocol.Opcode
+	// Key is the requested key.
+	Key string
+	// Status is valid once Done fires.
+	Status protocol.Status
+	// Value / ValueSize hold the fetched value for Gets once Done fires.
+	Value     any
+	ValueSize int
+	// Flags / CAS are the item metadata from the response.
+	Flags uint32
+	CAS   uint64
+	// IssuedAt / CompletedAt are virtual timestamps.
+	IssuedAt    sim.Time
+	CompletedAt sim.Time
+
+	done           *sim.Event // server response received ("completion flag")
+	reusable       *sim.Event // user buffers reusable
+	conn           *conn
+	creditReturned bool
+}
+
+// Done reports whether the operation has completed (memcached_test).
+func (r *Req) Done() bool { return r.done.Fired() }
+
+// Client is the libmemcached handle (memcached_st analog).
+type Client struct {
+	env *sim.Env
+	cfg Config
+
+	// RDMA mode
+	dev *verbs.Device
+	pd  *verbs.PD
+
+	// IPoIB mode
+	host *verbs.Host
+
+	conns     []*conn
+	ring      *ring
+	nextID    uint64
+	buffering bool
+
+	// Prof accumulates the client-side stages (client wait, miss penalty
+	// is recorded by the workload driver).
+	Prof *metrics.Breakdown
+
+	// Stats
+	Issued, Completed int64
+}
+
+type conn struct {
+	c        *Client
+	serverID int
+	// RDMA state
+	qp      *verbs.QP
+	sendCQ  *verbs.CQ
+	recvCQ  *verbs.CQ
+	respMR  *verbs.MR
+	credits *sim.Resource
+	txq     *sim.Queue[*txItem]
+	pending map[uint64]*Req
+	// IPoIB state
+	stream   *verbs.Stream
+	buffered []*protocol.Request // libmemcached-style deferred Sets
+}
+
+type txItem struct {
+	wire *protocol.Request
+	req  *Req
+}
+
+// New creates a client on node. Connections are added with ConnectRDMA or
+// ConnectIPoIB, one per server, before issuing operations.
+func New(env *sim.Env, node *simnet.Node, cfg Config) *Client {
+	cfg.fill()
+	c := &Client{env: env, cfg: cfg, Prof: metrics.NewBreakdown()}
+	if cfg.Transport == RDMA {
+		c.dev = verbs.OpenDevice(node)
+		c.pd = c.dev.AllocPD()
+	} else {
+		c.host = verbs.NewHost(node)
+	}
+	c.ring = newRing()
+	return c
+}
+
+// Env returns the simulation environment.
+func (c *Client) Env() *sim.Env { return c.env }
+
+// Conns returns the number of server connections.
+func (c *Client) Conns() int { return len(c.conns) }
+
+// ErrTransport reports an API unavailable on this transport.
+var ErrTransport = errors.New("core: operation not supported on this transport")
+
+// RDMAServer is the server-side hookup surface the client needs: it accepts
+// the client's QP and states its receive depth (flow-control credits).
+type RDMAServer interface {
+	AcceptQP(clientQP *verbs.QP) *verbs.QP
+	RecvDepth() int
+}
+
+// ConnectRDMA establishes a verbs connection to the server: creates the QP,
+// registers the response region, pre-posts receives, and starts the TX and
+// progress engines. Setup is free in simulated time (connection setup is
+// not a measured path).
+func (c *Client) ConnectRDMA(srv RDMAServer) {
+	if c.cfg.Transport != RDMA {
+		panic("core: ConnectRDMA on an IPoIB client")
+	}
+	sendCQ := c.dev.CreateCQ(0)
+	recvCQ := c.dev.CreateCQ(0)
+	qp := c.dev.CreateQP(sendCQ, recvCQ)
+	cn := &conn{
+		c:        c,
+		serverID: len(c.conns),
+		qp:       qp,
+		sendCQ:   sendCQ,
+		recvCQ:   recvCQ,
+		respMR:   c.pd.RegisterMRSetup(c.cfg.MaxValue),
+		credits:  sim.NewResource(c.env, srv.RecvDepth()),
+		txq:      sim.NewQueue[*txItem](c.env, 0),
+		pending:  make(map[uint64]*Req),
+	}
+	srv.AcceptQP(qp)
+	// The client consumes one local receive per inbound WRITE_IMM; keep a
+	// generous pool re-posted by the progress engine.
+	for i := 0; i < 2*srv.RecvDepth(); i++ {
+		qp.PostRecv(verbs.RecvWR{})
+	}
+	c.conns = append(c.conns, cn)
+	c.ring.add(cn.serverID)
+	name := fmt.Sprintf("client/conn%d", cn.serverID)
+	c.env.Spawn(name+"/tx", cn.txEngine)
+	c.env.Spawn(name+"/progress", cn.progressEngine)
+}
+
+// IPoIBServer is the stream-transport hookup surface.
+type IPoIBServer interface {
+	Host() *verbs.Host
+}
+
+// ConnectIPoIB dials a default-Memcached server over the socket stack.
+func (c *Client) ConnectIPoIB(srv IPoIBServer) {
+	if c.cfg.Transport != IPoIB {
+		panic("core: ConnectIPoIB on an RDMA client")
+	}
+	cn := &conn{c: c, serverID: len(c.conns), stream: c.host.Dial(srv.Host())}
+	c.conns = append(c.conns, cn)
+	c.ring.add(cn.serverID)
+}
+
+// pick selects the connection for a key via the ketama-style ring.
+func (c *Client) pick(key string) *conn {
+	if len(c.conns) == 0 {
+		panic("core: no server connections")
+	}
+	return c.conns[c.ring.pick(key)]
+}
+
+// newReq builds a request handle.
+func (c *Client) newReq(op protocol.Opcode, key string, cn *conn) *Req {
+	c.nextID++
+	return &Req{
+		ID:       c.nextID,
+		Op:       op,
+		Key:      key,
+		conn:     cn,
+		done:     c.env.NewEvent(),
+		reusable: c.env.NewEvent(),
+		IssuedAt: c.env.Now(),
+	}
+}
+
+// issue hands a request to the connection's TX engine (violet path).
+func (c *Client) issue(p *sim.Proc, op protocol.Opcode, key string, valueSize int, value any, flags, expire uint32, ack bool) *Req {
+	cn := c.pick(key)
+	p.Sleep(c.cfg.PrepCost)
+	req := c.newReq(op, key, cn)
+	wire := &protocol.Request{
+		Op: op, ReqID: req.ID, Key: key,
+		Flags: flags, Expire: expire,
+		ValueSize: valueSize, Value: value,
+		RespMR:    cn.respMR.LKey(),
+		AckWanted: ack || c.cfg.AckWanted,
+	}
+	cn.pending[req.ID] = req
+	cn.txq.TryPut(&txItem{wire: wire, req: req})
+	c.Issued++
+	return req
+}
+
+// --- Non-blocking API extensions (Listing 1) ---
+
+// ISet issues a non-blocking Set. The key/value buffers must NOT be reused
+// until Wait/Test report completion (memcached_iset).
+func (c *Client) ISet(p *sim.Proc, key string, valueSize int, value any, flags, expire uint32) (*Req, error) {
+	if c.cfg.Transport != RDMA {
+		return nil, ErrTransport
+	}
+	return c.issue(p, protocol.OpSet, key, valueSize, value, flags, expire, false), nil
+}
+
+// IGet issues a non-blocking Get. The key buffer must NOT be reused until
+// Wait/Test report completion (memcached_iget).
+func (c *Client) IGet(p *sim.Proc, key string) (*Req, error) {
+	if c.cfg.Transport != RDMA {
+		return nil, ErrTransport
+	}
+	return c.issue(p, protocol.OpGet, key, 0, nil, 0, 0, false), nil
+}
+
+// BSet issues a non-blocking Set and returns once the key/value buffers are
+// reusable (memcached_bset): when the value has left the NIC, or — against
+// an async server — when the server acknowledges it is buffered.
+func (c *Client) BSet(p *sim.Proc, key string, valueSize int, value any, flags, expire uint32) (*Req, error) {
+	if c.cfg.Transport != RDMA {
+		return nil, ErrTransport
+	}
+	req := c.issue(p, protocol.OpSet, key, valueSize, value, flags, expire, true)
+	p.Wait(req.reusable)
+	return req, nil
+}
+
+// BGet issues a non-blocking Get and returns once the key buffer is
+// reusable (memcached_bget).
+func (c *Client) BGet(p *sim.Proc, key string) (*Req, error) {
+	if c.cfg.Transport != RDMA {
+		return nil, ErrTransport
+	}
+	req := c.issue(p, protocol.OpGet, key, 0, nil, 0, 0, true)
+	p.Wait(req.reusable)
+	return req, nil
+}
+
+// Test reports whether the operation has completed without blocking
+// (memcached_test).
+func (c *Client) Test(req *Req) bool { return req.done.Fired() }
+
+// Wait blocks until the operation completes (memcached_wait) and records
+// the blocked duration as the client-wait stage.
+func (c *Client) Wait(p *sim.Proc, req *Req) {
+	t0 := p.Now()
+	p.Wait(req.done)
+	c.Prof.Add(metrics.StageClientWait, p.Now()-t0)
+}
+
+// WaitAll waits for a batch of requests (block-by-block completion of the
+// bursty I/O pattern).
+func (c *Client) WaitAll(p *sim.Proc, reqs []*Req) {
+	for _, r := range reqs {
+		c.Wait(p, r)
+	}
+}
+
+// --- Blocking API (default libmemcached semantics) ---
+
+// Set stores a value and blocks for the server's reply (memcached_set).
+// With buffering enabled (SetBuffering), the Set is deferred client-side
+// instead, as classic libmemcached does.
+func (c *Client) Set(p *sim.Proc, key string, valueSize int, value any, flags, expire uint32) protocol.Status {
+	if c.cfg.Transport == IPoIB {
+		if c.buffering {
+			return c.bufferedSet(p, key, valueSize, value, flags, expire)
+		}
+		return c.ipoibRoundTrip(p, protocol.OpSet, key, valueSize, value, flags, expire).Status
+	}
+	req := c.issue(p, protocol.OpSet, key, valueSize, value, flags, expire, false)
+	c.Wait(p, req)
+	return req.Status
+}
+
+// Get fetches a value and blocks for the reply (memcached_get). With
+// buffering enabled, the Get first pushes out the queued Sets — the
+// overhead the paper's Section IV-A attributes to the behaviour-based mode.
+func (c *Client) Get(p *sim.Proc, key string) (value any, size int, status protocol.Status) {
+	if c.cfg.Transport == IPoIB {
+		if c.buffering {
+			c.flushConn(p, c.pick(key))
+		}
+		r := c.ipoibRoundTrip(p, protocol.OpGet, key, 0, nil, 0, 0)
+		return r.Value, r.ValueSize, r.Status
+	}
+	req := c.issue(p, protocol.OpGet, key, 0, nil, 0, 0, false)
+	c.Wait(p, req)
+	return req.Value, req.ValueSize, req.Status
+}
+
+// Delete removes a key and blocks for the reply (memcached_delete).
+func (c *Client) Delete(p *sim.Proc, key string) protocol.Status {
+	if c.cfg.Transport == IPoIB {
+		return c.ipoibRoundTrip(p, protocol.OpDelete, key, 0, nil, 0, 0).Status
+	}
+	req := c.issue(p, protocol.OpDelete, key, 0, nil, 0, 0, false)
+	c.Wait(p, req)
+	return req.Status
+}
+
+// ipoibRoundTrip performs one blocking request/response over the socket
+// stack: the send blocks for the kernel copy (buffers reusable on return),
+// then the client waits for the reply.
+func (c *Client) ipoibRoundTrip(p *sim.Proc, op protocol.Opcode, key string, valueSize int, value any, flags, expire uint32) *Req {
+	cn := c.pick(key)
+	p.Sleep(c.cfg.PrepCost)
+	req := c.newReq(op, key, cn)
+	wire := &protocol.Request{
+		Op: op, ReqID: req.ID, Key: key,
+		Flags: flags, Expire: expire,
+		ValueSize: valueSize, Value: value,
+	}
+	c.Issued++
+	cn.stream.Send(p, wire.WireSize(), wire)
+	t0 := p.Now()
+	for {
+		msg, ok := cn.stream.Recv(p)
+		if !ok {
+			req.Status = protocol.StatusError
+			break
+		}
+		resp := msg.Payload.(*protocol.Response)
+		if resp.ReqID != req.ID {
+			continue // stale reply from an abandoned request
+		}
+		p.Sleep(memcpyTime(resp.ValueSize))
+		req.Status = resp.Status
+		req.Value = resp.Value
+		req.ValueSize = resp.ValueSize
+		req.Flags = resp.Flags
+		req.CAS = resp.CAS
+		break
+	}
+	c.Prof.Add(metrics.StageClientWait, p.Now()-t0)
+	req.CompletedAt = p.Now()
+	req.done.Fire()
+	req.reusable.Fire()
+	c.Completed++
+	return req
+}
+
+// txEngine drains the issue queue: waits for a flow-control credit, posts
+// the WR, and fires the request's buffer-reusable event when the data has
+// left the NIC (red path of Figure 3).
+func (cn *conn) txEngine(p *sim.Proc) {
+	for {
+		item, ok := cn.txq.Get(p)
+		if !ok {
+			return
+		}
+		cn.credits.Acquire(p)
+		sent := cn.qp.PostSendReusable(p, verbs.SendWR{
+			WRID:    item.req.ID,
+			Op:      verbs.OpSend,
+			Size:    item.wire.WireSize(),
+			Payload: item.wire,
+		})
+		// The NIC serializes messages in order; waiting for DMA-sent here
+		// pipelines exactly like the hardware send queue.
+		p.Wait(sent)
+		item.req.reusable.Fire()
+	}
+}
+
+// progressEngine polls the receive CQ: returns credits, lands values in the
+// user buffer, and fires completion flags (dark-green path of Figure 3).
+func (cn *conn) progressEngine(p *sim.Proc) {
+	for {
+		comp := cn.recvCQ.WaitPoll(p)
+		cn.qp.PostRecv(verbs.RecvWR{}) // replenish the local pool
+		resp, ok := comp.Payload.(*protocol.Response)
+		if !ok {
+			panic("core: non-response payload on client receive CQ")
+		}
+		req := cn.pending[resp.ReqID]
+		if req == nil {
+			panic(fmt.Sprintf("core: response for unknown request %d", resp.ReqID))
+		}
+		switch resp.Op {
+		case protocol.OpBufferAck:
+			// Request is buffered server-side: buffers reusable, credit back.
+			if !req.creditReturned {
+				req.creditReturned = true
+				cn.credits.Release()
+			}
+			req.reusable.Fire()
+		case protocol.OpResponse:
+			if !req.creditReturned {
+				req.creditReturned = true
+				cn.credits.Release()
+			}
+			// Zero-copy: the value was RDMA-WRITten directly into the
+			// request's registered response buffer; no client copy.
+			req.Status = resp.Status
+			req.Value = resp.Value
+			req.ValueSize = resp.ValueSize
+			req.Flags = resp.Flags
+			req.CAS = resp.CAS
+			req.CompletedAt = p.Now()
+			delete(cn.pending, resp.ReqID)
+			req.done.Fire()
+			cn.c.Completed++
+		default:
+			panic("core: unexpected opcode " + resp.Op.String())
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package hybridslab
+
+import (
+	"sort"
+
+	"hybridkv/internal/sim"
+)
+
+// SSD arena compaction. Page-granular reclaim (fatcache-style) leaves dead
+// slots inside flush regions whose other items are still live; under
+// delete/replace churn the arena fills with holes. Compact rewrites the
+// live remainder of fragmented regions into fresh, dense regions and
+// returns the old regions to the free pool — the flash-friendly sequential
+// rewrite a real SSD cache performs during maintenance windows.
+
+// Compact rewrites every flush region whose live share is at or below
+// liveThreshold (e.g. 0.5 = half dead), charging p the region reads and the
+// batched rewrite. It returns the number of arena bytes reclaimed.
+func (m *Manager) Compact(p *sim.Proc, liveThreshold float64) int64 {
+	if m.file == nil {
+		return 0
+	}
+	// Group live SSD items by their flush region.
+	groups := make(map[*ssdPage][]*Item)
+	for e := m.ssdLRU.Back(); e != nil; e = e.Prev() {
+		it := e.Value
+		if it.ssdPage != nil {
+			groups[it.ssdPage] = append(groups[it.ssdPage], it)
+		}
+	}
+	// Deterministic processing order.
+	pages := make([]*ssdPage, 0, len(groups))
+	for pg := range groups {
+		pages = append(pages, pg)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i].base < pages[j].base })
+
+	var reclaimed int64
+	for _, pg := range pages {
+		items := groups[pg]
+		liveBytes := 0
+		for _, it := range items {
+			liveBytes += m.alloc.ChunkSize(it.class)
+		}
+		if float64(liveBytes) > liveThreshold*float64(pg.size) {
+			continue // dense enough
+		}
+		reclaimed += m.compactPage(p, pg, items)
+	}
+	return reclaimed
+}
+
+// compactPage moves a region's live items into a fresh dense region.
+func (m *Manager) compactPage(p *sim.Proc, pg *ssdPage, items []*Item) int64 {
+	if len(items) == 0 {
+		return 0
+	}
+	pg.compacting = true
+	chunk := m.alloc.ChunkSize(items[0].class)
+	newSize := int64(len(items) * chunk)
+	newBase, ok := m.ssdAlloc(newSize)
+	if !ok {
+		pg.compacting = false
+		return 0 // arena exhausted; leave the region as is
+	}
+	// Read the live chunks (one scattered read per item — compaction runs
+	// in the background, so latency is off the request path), then write
+	// the dense region in one sweep.
+	scheme := m.flushScheme(items[0].class)
+	for _, it := range items {
+		if _, okR := m.file.Read(p, it.ssdOff, chunk, scheme); !okR {
+			// Raced with corruption; the item will be retired on its next
+			// Load. Skip it here.
+			continue
+		}
+	}
+	m.file.Write(p, newBase, int(newSize), nil, scheme)
+	newPg := &ssdPage{base: newBase, size: newSize}
+	for i, it := range items {
+		if it.dropped || !it.onSSD {
+			continue
+		}
+		m.file.Discard(it.ssdOff)
+		off := newBase + int64(i*chunk)
+		m.file.SetExtent(off, chunk, it.Value)
+		it.ssdOff = off
+		it.ssdPage = newPg
+		newPg.live++
+	}
+	// Retire the old region entirely.
+	m.ssdFree[pg.size] = append(m.ssdFree[pg.size], pg.base)
+	m.ssdUsed -= pg.size
+	m.ssdUsed += newSize
+	m.Compactions++
+	return pg.size - newSize
+}
+
+// StartCompactor runs Compact every interval until StopCompactor is called.
+func (m *Manager) StartCompactor(interval sim.Time, liveThreshold float64) {
+	if m.compactStop != nil {
+		panic("hybridslab: compactor already running")
+	}
+	if interval <= 0 {
+		interval = sim.Second
+	}
+	m.compactStop = m.env.NewEvent()
+	stop := m.compactStop
+	m.env.Spawn("ssd-compactor", func(p *sim.Proc) {
+		for {
+			if p.WaitTimeout(stop, interval) {
+				return
+			}
+			m.Compact(p, liveThreshold)
+		}
+	})
+}
+
+// StopCompactor terminates the background compactor.
+func (m *Manager) StopCompactor() {
+	if m.compactStop == nil {
+		return
+	}
+	m.compactStop.Fire()
+	m.compactStop = nil
+}

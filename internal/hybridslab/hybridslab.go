@@ -1,0 +1,639 @@
+// Package hybridslab implements the 'RAM+SSD' hybrid slab manager of
+// SSD-assisted Memcached (Ouyang et al. [17]) together with this paper's
+// adaptive I/O enhancement (Section V-B2, Figure 5).
+//
+// Items live in RAM slab chunks until the slab allocator hits its memory
+// limit. On an allocation failure, one slab page worth of LRU items from the
+// requested class is buffered and synchronously flushed to the SSD, then the
+// allocation is retried — exactly the eviction granularity the paper
+// describes. The flush I/O scheme is selected by policy:
+//
+//	PolicyDirect   : direct I/O for every class (H-RDMA-Def behaviour)
+//	PolicyAdaptive : mmap-ed slabs for small classes, cached I/O for large
+//	                 classes (H-RDMA-Opt behaviour)
+//	PolicyCached / PolicyMmap : single-scheme variants for ablations
+//
+// A RAM-only manager (no SSD attached) evicts LRU items outright, modeling
+// default Memcached; subsequent Gets of those keys miss and the client pays
+// the backend penalty.
+package hybridslab
+
+import (
+	"errors"
+	"fmt"
+
+	"hybridkv/internal/pagecache"
+	"hybridkv/internal/sim"
+	"hybridkv/internal/slab"
+)
+
+// IOPolicy selects the SSD flush/load scheme per slab class.
+type IOPolicy int
+
+const (
+	PolicyDirect IOPolicy = iota
+	PolicyAdaptive
+	PolicyCached
+	PolicyMmap
+)
+
+func (p IOPolicy) String() string {
+	switch p {
+	case PolicyDirect:
+		return "direct"
+	case PolicyAdaptive:
+		return "adaptive"
+	case PolicyCached:
+		return "cached"
+	case PolicyMmap:
+		return "mmap"
+	}
+	return fmt.Sprintf("IOPolicy(%d)", int(p))
+}
+
+// Host-side copy bandwidth used for chunk buffering (matches the page-cache
+// memcpy model).
+const memcpyBps = 8_000_000_000
+
+func memcpyTime(size int) sim.Time {
+	if size <= 0 {
+		return 0
+	}
+	return sim.Time(float64(size) / float64(memcpyBps) * float64(sim.Second))
+}
+
+// Per-operation slab metadata cost (freelist/page bookkeeping).
+const slabMetaCost = 200 * sim.Nanosecond
+
+// Item is one key-value pair and its placement.
+type Item struct {
+	Key       string
+	Value     any
+	ValueSize int
+	Flags     uint32
+	CAS       uint64
+	ExpireAt  sim.Time // zero = no expiry
+
+	class   int
+	onSSD   bool
+	dropped bool
+	// inTransit marks an item being promoted from SSD to RAM: it is on no
+	// recency list while the promoting worker may be suspended in eviction
+	// I/O, so concurrent Touch/Release must not relink it.
+	inTransit bool
+	ssdOff    int64
+	ssdPage   *ssdPage
+	lru       slab.LRUEntry[*Item]
+}
+
+// ssdPage is one flushed slab page on the SSD arena. Like fatcache, the
+// arena is reclaimed at page granularity: when every slot in a page has been
+// freed, the whole region returns to the free pool.
+type ssdPage struct {
+	base int64
+	size int64
+	live int
+	// compacting marks a region being rewritten: freeSSD must not return
+	// it to the pool (the compactor retires it exactly once).
+	compacting bool
+}
+
+// Dropped reports whether the value was discarded by eviction; a Get of a
+// dropped item is a cache miss.
+func (it *Item) Dropped() bool { return it.dropped }
+
+// OnSSD reports whether the item's value currently lives on the SSD.
+func (it *Item) OnSSD() bool { return it.onSSD }
+
+// Class returns the item's slab class.
+func (it *Item) Class() int { return it.class }
+
+// ErrTooLarge is returned for items exceeding the largest slab chunk.
+var ErrTooLarge = errors.New("hybridslab: item exceeds maximum chunk size")
+
+// Config assembles a Manager.
+type Config struct {
+	Slab slab.Config
+	// Policy picks the SSD I/O scheme; ignored for RAM-only managers.
+	Policy IOPolicy
+	// AdaptiveCutoff is the largest chunk size flushed via mmap under
+	// PolicyAdaptive (default 16 KB).
+	AdaptiveCutoff int
+	// SSDCapacity bounds hybrid-memory overflow (bytes). 0 with a non-nil
+	// cache means "device capacity".
+	SSDCapacity int64
+	// AsyncFlush enables write-behind eviction (the paper's future work,
+	// Section VII): the allocating request only buffers the victims into
+	// a bounded staging pool and frees their RAM chunks; a background
+	// flusher performs the SSD write and placement. Staging is bounded to
+	// AsyncFlushDepth in-flight slabs, which is the backpressure under
+	// sustained write bursts.
+	AsyncFlush bool
+	// AsyncFlushDepth bounds in-flight staged flushes (default 4).
+	AsyncFlushDepth int
+}
+
+// Manager owns one server's item memory.
+type Manager struct {
+	env    *sim.Env
+	cfg    Config
+	alloc  *slab.Allocator
+	lrus   []slab.LRU[*Item] // one per class, RAM residents only
+	ssdLRU slab.LRU[*Item]   // SSD residents, for SSD-full eviction
+
+	file        *pagecache.File // nil for RAM-only
+	flushing    int             // evictions in flight (concurrent workers)
+	flushEv     *sim.Event      // fired when a flush completes
+	flushQ      *sim.Queue[flushJob]
+	compactStop *sim.Event
+	ssdUsed     int64
+	ssdLimit    int64
+	ssdNext     int64             // bump pointer for fresh flush pages
+	ssdFree     map[int64][]int64 // fully-reclaimed flush regions by size
+
+	// Stats
+	Sets, Gets, Hits       int64
+	FlushPages             int64 // slab pages flushed to SSD
+	FlushedItems           int64
+	SSDLoads               int64
+	Promotions             int64 // SSD items moved back to RAM on Get
+	CorruptLoads           int64 // uncorrectable SSD reads (data loss)
+	Compactions            int64 // arena regions rewritten densely
+	DropEvictions          int64 // items discarded entirely
+	FlushTime, SSDLoadTime sim.Time
+	AsyncFlushTime         sim.Time // background write-behind time
+	AllocStalls            int64
+}
+
+// New builds a hybrid manager. file may be nil for a RAM-only store; then
+// eviction drops items (default Memcached behaviour).
+func New(env *sim.Env, cfg Config, file *pagecache.File) *Manager {
+	if cfg.AdaptiveCutoff <= 0 {
+		cfg.AdaptiveCutoff = 16 * 1024
+	}
+	m := &Manager{
+		env:     env,
+		cfg:     cfg,
+		alloc:   slab.New(cfg.Slab),
+		file:    file,
+		flushEv: env.NewEvent(),
+		ssdFree: make(map[int64][]int64),
+	}
+	m.lrus = make([]slab.LRU[*Item], m.alloc.NumClasses())
+	if file != nil {
+		m.ssdLimit = cfg.SSDCapacity
+		if m.ssdLimit <= 0 {
+			m.ssdLimit = file.Size()
+		}
+		if cfg.AsyncFlush {
+			depth := cfg.AsyncFlushDepth
+			if depth <= 0 {
+				depth = 4
+			}
+			m.flushQ = sim.NewQueue[flushJob](env, depth)
+			env.Spawn("hybridslab-flusher", m.asyncFlusher)
+		}
+	}
+	return m
+}
+
+// flushJob is one staged slab eviction awaiting its SSD write.
+type flushJob struct {
+	victims []*Item
+	class   int
+	chunk   int
+}
+
+// Allocator exposes the underlying slab allocator (read-only use).
+func (m *Manager) Allocator() *slab.Allocator { return m.alloc }
+
+// Hybrid reports whether an SSD is attached.
+func (m *Manager) Hybrid() bool { return m.file != nil }
+
+// SSDUsed returns bytes of SSD space holding live items.
+func (m *Manager) SSDUsed() int64 { return m.ssdUsed }
+
+// flushScheme returns the I/O scheme used to evict chunks of class idx.
+func (m *Manager) flushScheme(class int) pagecache.Scheme {
+	switch m.cfg.Policy {
+	case PolicyDirect:
+		return pagecache.Direct
+	case PolicyCached:
+		return pagecache.Cached
+	case PolicyMmap:
+		return pagecache.Mmap
+	case PolicyAdaptive:
+		if m.alloc.ChunkSize(class) <= m.cfg.AdaptiveCutoff {
+			return pagecache.Mmap
+		}
+		return pagecache.Cached
+	}
+	return pagecache.Direct
+}
+
+// loadScheme returns the I/O scheme used to read an evicted item back:
+// O_DIRECT chunk reads for the default design, buffered (page-cache) reads
+// for the optimized designs — a large share of the 54-83% read-side gain of
+// H-RDMA-Opt over H-RDMA-Def (Fig. 8a) is exactly direct-vs-buffered reads.
+func (m *Manager) loadScheme(class int) pagecache.Scheme {
+	if m.cfg.Policy == PolicyDirect {
+		return pagecache.Direct
+	}
+	return pagecache.Cached
+}
+
+// Store inserts or replaces the item for key, charging p the slab
+// management and any eviction I/O time. This is the "Slab Allocation"
+// stage of a Set.
+func (m *Manager) Store(p *sim.Proc, it *Item) error {
+	class, ok := m.alloc.ClassFor(it.ValueSize + len(it.Key) + itemOverhead)
+	if !ok {
+		return ErrTooLarge
+	}
+	it.class = class
+	p.Sleep(slabMetaCost)
+	for {
+		switch m.alloc.Alloc(class) {
+		case slab.AllocOK, slab.AllocNewPage:
+			// Copy the value into the chunk.
+			p.Sleep(memcpyTime(it.ValueSize))
+			m.lrus[class].PushFront(&it.lru)
+			it.lru.Value = it
+			it.onSSD = false
+			m.Sets++
+			return nil
+		case slab.AllocNeedEvict:
+			m.AllocStalls++
+			m.evictOnePage(p, class)
+		}
+	}
+}
+
+const itemOverhead = 56 // key pointer, CAS, flags, LRU links
+
+// evictOnePage frees roughly one slab page of RAM by moving LRU items of
+// the given class (falling back to the globally fullest class) to the SSD,
+// or dropping them when RAM-only.
+func (m *Manager) evictOnePage(p *sim.Proc, class int) {
+	victimClass := class
+	if m.lrus[class].Len() == 0 {
+		// The class being allocated has no victims yet (fresh class while
+		// memory is full of other classes): steal from the fullest class.
+		best, bestBytes := -1, 0
+		for i := range m.lrus {
+			b := m.lrus[i].Len() * m.alloc.ChunkSize(i)
+			if b > bestBytes {
+				best, bestBytes = i, b
+			}
+		}
+		if best < 0 {
+			// No victims anywhere: either memory is tied up in freed
+			// chunks of other classes (reassign an empty page), or every
+			// candidate is in another worker's in-flight flush (wait for
+			// it and let the caller's allocation loop retry).
+			if m.alloc.ReclaimEmptyPage() {
+				return
+			}
+			if m.flushing > 0 {
+				p.Wait(m.flushEv)
+				return
+			}
+			panic("hybridslab: memory limit too small to hold one page")
+		}
+		victimClass = best
+	}
+	chunk := m.alloc.ChunkSize(victimClass)
+	pageSize := m.alloc.Config().PageSize
+	want := pageSize / chunk
+	if want < 1 {
+		want = 1
+	}
+	var victims []*Item
+	for len(victims) < want {
+		e := m.lrus[victimClass].PopBack()
+		if e == nil {
+			break
+		}
+		victims = append(victims, e.Value)
+	}
+	if len(victims) == 0 {
+		panic("hybridslab: no victims in chosen class")
+	}
+	if m.file == nil {
+		// Default Memcached: drop. No suspension points here, so victims
+		// cannot be raced.
+		for _, v := range victims {
+			m.alloc.Free(victimClass)
+			v.Value = nil
+			v.dropped = true
+			m.DropEvictions++
+		}
+		return
+	}
+	// Buffer one slab of key-value pairs. The victims are on no recency
+	// list while the flush is in flight; mark them in transit so
+	// concurrent Touch/Release leave the relinking to us.
+	for _, v := range victims {
+		v.inTransit = true
+	}
+	m.flushing++
+	flushBytes := len(victims) * chunk
+	t0 := p.Now()
+	p.Sleep(memcpyTime(flushBytes))
+	if m.cfg.AsyncFlush {
+		// Write-behind: the staging copy holds the data, so the RAM
+		// chunks free immediately; the background flusher performs the
+		// SSD write. Put blocks when the staging pool is full — that is
+		// the only stall the allocating request can see.
+		for range victims {
+			m.alloc.Free(victimClass)
+		}
+		m.flushQ.Put(p, flushJob{victims: victims, class: victimClass, chunk: chunk})
+		m.FlushTime += p.Now() - t0
+		return
+	}
+	m.placeVictims(p, flushJob{victims: victims, class: victimClass, chunk: chunk}, true)
+	m.FlushTime += p.Now() - t0
+}
+
+// asyncFlusher drains staged evictions in the background (write-behind).
+func (m *Manager) asyncFlusher(p *sim.Proc) {
+	for {
+		job, ok := m.flushQ.Get(p)
+		if !ok {
+			return
+		}
+		t0 := p.Now()
+		m.placeVictims(p, job, false)
+		m.AsyncFlushTime += p.Now() - t0
+	}
+}
+
+// placeVictims performs the SSD write and placement for one evicted slab.
+// freeRAM releases the victims' RAM chunks (the synchronous path; the
+// async path freed them at buffering time).
+func (m *Manager) placeVictims(p *sim.Proc, job flushJob, freeRAM bool) {
+	defer func() {
+		m.flushing--
+		ev := m.flushEv
+		m.flushEv = m.env.NewEvent()
+		ev.Fire()
+	}()
+	victims, victimClass, chunk := job.victims, job.class, job.chunk
+	flushBytes := len(victims) * chunk
+	base, ok := m.ssdAlloc(int64(flushBytes))
+	if !ok {
+		// SSD full: drop the victims entirely (LRU overflow discard).
+		for _, v := range victims {
+			if freeRAM {
+				m.alloc.Free(victimClass)
+			}
+			v.inTransit = false
+			if !v.dropped {
+				v.Value = nil
+				v.dropped = true
+				m.DropEvictions++
+			}
+		}
+		return
+	}
+	m.file.Write(p, base, flushBytes, nil, m.flushScheme(victimClass))
+	pg := &ssdPage{base: base, size: int64(flushBytes)}
+	for i, v := range victims {
+		if freeRAM {
+			m.alloc.Free(victimClass)
+		}
+		v.inTransit = false
+		if v.dropped {
+			// Deleted or replaced while the flush was in flight.
+			continue
+		}
+		off := base + int64(i*chunk)
+		m.file.SetExtent(off, chunk, v.Value)
+		v.onSSD = true
+		v.ssdOff = off
+		v.ssdPage = pg
+		m.ssdLRU.PushFront(&v.lru)
+		pg.live++
+		m.FlushedItems++
+	}
+	if pg.live == 0 {
+		// Every victim died mid-flush; recycle the region immediately.
+		m.ssdFree[pg.size] = append(m.ssdFree[pg.size], pg.base)
+	} else {
+		m.ssdUsed += int64(flushBytes)
+	}
+	m.FlushPages++
+}
+
+// ssdAlloc finds space for a flush page, reusing freed regions of the same
+// size, evicting cold SSD items if the arena is full.
+func (m *Manager) ssdAlloc(size int64) (int64, bool) {
+	if free := m.ssdFree[size]; len(free) > 0 {
+		off := free[len(free)-1]
+		m.ssdFree[size] = free[:len(free)-1]
+		return off, true
+	}
+	if m.ssdNext+size <= m.ssdLimit {
+		off := m.ssdNext
+		m.ssdNext += size
+		return off, true
+	}
+	// Reclaim: drop LRU SSD items until a same-size free region appears.
+	for m.ssdLRU.Len() > 0 {
+		e := m.ssdLRU.PopBack()
+		v := e.Value
+		m.freeSSD(v)
+		v.Value = nil
+		v.dropped = true
+		m.DropEvictions++
+		if free := m.ssdFree[size]; len(free) > 0 {
+			off := free[len(free)-1]
+			m.ssdFree[size] = free[:len(free)-1]
+			return off, true
+		}
+	}
+	return 0, false
+}
+
+// freeSSD releases an item's SSD slot; the flush region returns to the free
+// pool once its last slot is freed. The caller owns LRU bookkeeping.
+func (m *Manager) freeSSD(it *Item) {
+	m.file.Discard(it.ssdOff)
+	pg := it.ssdPage
+	pg.live--
+	if pg.live == 0 && !pg.compacting {
+		m.ssdFree[pg.size] = append(m.ssdFree[pg.size], pg.base)
+		m.ssdUsed -= pg.size
+	}
+	it.onSSD = false
+	it.ssdPage = nil
+}
+
+// Load fetches the item's value for a Get, charging p the chunk copy and,
+// for SSD residents, the direct chunk read. This is the "Cache Check and
+// Load" stage.
+//
+// SSD-resident items are served in place and stay on the SSD (fatcache
+// semantics: minimal disk reads on hits, no write-amplifying promotion
+// churn); recency is tracked in the SSD-side list so overflow eviction
+// still discards the coldest items first.
+func (m *Manager) Load(p *sim.Proc, it *Item) (any, error) {
+	m.Gets++
+	if it.dropped {
+		return nil, ErrDropped
+	}
+	if !it.onSSD {
+		p.Sleep(memcpyTime(it.ValueSize))
+		m.Hits++
+		return it.Value, nil
+	}
+	t0 := p.Now()
+	chunk := m.alloc.ChunkSize(it.class)
+	v, ok := m.file.Read(p, it.ssdOff, chunk, m.loadScheme(it.class))
+	m.SSDLoads++
+	if it.dropped {
+		return nil, ErrDropped
+	}
+	if !ok {
+		if it.onSSD {
+			// The extent is gone while the item still claims it: an
+			// uncorrectable device read (or injected corruption). A cache
+			// may lose data; retire the item so the key reads as a miss
+			// and the client re-populates from the backend.
+			m.ssdLRU.Remove(&it.lru)
+			m.freeSSD(it)
+			it.Value = nil
+			it.dropped = true
+			m.CorruptLoads++
+			return nil, ErrDropped
+		}
+		// Raced with a replace that moved the value while the device read
+		// was in flight: the item's live value is current.
+		v = it.Value
+	}
+	p.Sleep(memcpyTime(it.ValueSize))
+	m.SSDLoadTime += p.Now() - t0
+	m.Hits++
+	return v, nil
+}
+
+// ErrDropped marks an item whose value was discarded by eviction.
+var ErrDropped = errors.New("hybridslab: item evicted")
+
+// Touch promotes the item in its recency list (the "Cache Update" stage).
+func (m *Manager) Touch(it *Item) {
+	if it.dropped || it.inTransit {
+		return
+	}
+	if it.onSSD {
+		m.ssdLRU.Touch(&it.lru)
+	} else {
+		m.lrus[it.class].Touch(&it.lru)
+	}
+}
+
+// Release frees the item's storage (delete or replace).
+func (m *Manager) Release(it *Item) {
+	if it.dropped {
+		return
+	}
+	if it.inTransit {
+		// The promoting worker owns the chunk; it will free it when it
+		// observes the drop.
+		it.Value = nil
+		it.dropped = true
+		return
+	}
+	if it.onSSD {
+		m.ssdLRU.Remove(&it.lru)
+		m.freeSSD(it)
+	} else {
+		m.lrus[it.class].Remove(&it.lru)
+		m.alloc.Free(it.class)
+	}
+	it.Value = nil
+	it.dropped = true
+}
+
+// VisitLRU calls fn for up to limit items per recency list (each RAM class
+// tail-first, then the SSD list). fn must not mutate the lists; collect and
+// act afterwards. Iteration order is deterministic.
+func (m *Manager) VisitLRU(limit int, fn func(*Item) bool) {
+	for i := range m.lrus {
+		n := 0
+		for e := m.lrus[i].Back(); e != nil && n < limit; n++ {
+			if !fn(e.Value) {
+				return
+			}
+			e = e.Prev()
+		}
+	}
+	n := 0
+	for e := m.ssdLRU.Back(); e != nil && n < limit; n++ {
+		if !fn(e.Value) {
+			return
+		}
+		e = e.Prev()
+	}
+}
+
+// FragReport describes SSD arena utilization: pages still holding live
+// items versus reclaimed regions, and the dead-slot share inside live pages
+// (fatcache-style page-granular reclaim leaves holes until a whole region
+// frees).
+type FragReport struct {
+	// ArenaBytes is the total bump-allocated arena extent.
+	ArenaBytes int64
+	// LiveBytes is the space holding live items.
+	LiveBytes int64
+	// DeadBytes is the space of freed slots inside still-live pages.
+	DeadBytes int64
+	// FreeRegions is the count of fully-reclaimed regions awaiting reuse.
+	FreeRegions int
+}
+
+// Fragmentation returns the dead-space share of the allocated arena
+// (0 when empty).
+func (fr FragReport) Fragmentation() float64 {
+	if fr.ArenaBytes == 0 {
+		return 0
+	}
+	return float64(fr.DeadBytes) / float64(fr.ArenaBytes)
+}
+
+// FragStats scans the SSD recency list and free pools to build a
+// fragmentation report.
+func (m *Manager) FragStats() FragReport {
+	var fr FragReport
+	if m.file == nil {
+		return fr
+	}
+	fr.ArenaBytes = m.ssdNext
+	for e := m.ssdLRU.Back(); e != nil; e = e.Prev() {
+		fr.LiveBytes += int64(m.alloc.ChunkSize(e.Value.class))
+	}
+	// Dead space inside live pages = used regions minus live bytes.
+	var freeBytes int64
+	for size, offs := range m.ssdFree {
+		freeBytes += size * int64(len(offs))
+		fr.FreeRegions += len(offs)
+	}
+	fr.DeadBytes = fr.ArenaBytes - freeBytes - fr.LiveBytes
+	if fr.DeadBytes < 0 {
+		fr.DeadBytes = 0
+	}
+	return fr
+}
+
+// RAMItems returns the number of RAM-resident items.
+func (m *Manager) RAMItems() int {
+	n := 0
+	for i := range m.lrus {
+		n += m.lrus[i].Len()
+	}
+	return n
+}
+
+// SSDItems returns the number of SSD-resident items.
+func (m *Manager) SSDItems() int { return m.ssdLRU.Len() }

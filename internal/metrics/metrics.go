@@ -1,0 +1,285 @@
+// Package metrics provides the measurement plumbing for the experiment
+// harness: latency histograms over virtual time, the paper's six-stage
+// time-wise breakdown accumulators (Figures 2 and 6), and throughput /
+// overlap helpers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"hybridkv/internal/sim"
+)
+
+// Hist is a latency histogram with logarithmic buckets (~4% resolution),
+// good from 1 ns to ~100 s of virtual time.
+type Hist struct {
+	buckets []int64
+	count   int64
+	sum     sim.Time
+	min     sim.Time
+	max     sim.Time
+}
+
+const histBucketsPerOctave = 16
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist {
+	return &Hist{min: math.MaxInt64}
+}
+
+func bucketOf(d sim.Time) int {
+	if d < 1 {
+		d = 1
+	}
+	return int(math.Log2(float64(d)) * histBucketsPerOctave)
+}
+
+func bucketValue(idx int) sim.Time {
+	return sim.Time(math.Exp2(float64(idx) / histBucketsPerOctave))
+}
+
+// Add records one sample.
+func (h *Hist) Add(d sim.Time) {
+	idx := bucketOf(d)
+	if idx >= len(h.buckets) {
+		nb := make([]int64, idx+1)
+		copy(nb, h.buckets)
+		h.buckets = nb
+	}
+	h.buckets[idx]++
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Hist) Count() int64 { return h.count }
+
+// Sum returns the total of all samples.
+func (h *Hist) Sum() sim.Time { return h.sum }
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Hist) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.count)
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (h *Hist) Min() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Hist) Max() sim.Time { return h.max }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with ~4% bucket resolution.
+func (h *Hist) Quantile(q float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	want := int64(q * float64(h.count-1))
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > want {
+			return bucketValue(i)
+		}
+	}
+	return h.max
+}
+
+// String renders a one-line summary.
+func (h *Hist) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.max)
+}
+
+// Stage labels for the six critical stages of a Memcached Set/Get
+// (Section III-A of the paper).
+const (
+	StageSlabAlloc   = "slab-allocation"
+	StageCacheLoad   = "cache-check-and-load"
+	StageCacheUpdate = "cache-update"
+	StageResponse    = "server-response"
+	StageClientWait  = "client-wait"
+	StageMissPenalty = "miss-penalty"
+)
+
+// Stages lists the breakdown stages in presentation order (as in Fig. 2).
+var Stages = []string{
+	StageSlabAlloc, StageCacheLoad, StageCacheUpdate,
+	StageResponse, StageClientWait, StageMissPenalty,
+}
+
+// Breakdown accumulates per-stage virtual time.
+type Breakdown struct {
+	total map[string]sim.Time
+	ops   map[string]int64
+}
+
+// NewBreakdown returns an empty accumulator.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{total: make(map[string]sim.Time), ops: make(map[string]int64)}
+}
+
+// Add records d of time in the given stage.
+func (b *Breakdown) Add(stage string, d sim.Time) {
+	b.total[stage] += d
+	b.ops[stage]++
+}
+
+// Snapshot returns an independent copy (freeze the state before a
+// measurement phase, then Sub it away afterwards).
+func (b *Breakdown) Snapshot() *Breakdown {
+	c := NewBreakdown()
+	for k, v := range b.total {
+		c.total[k] = v
+	}
+	for k, v := range b.ops {
+		c.ops[k] = v
+	}
+	return c
+}
+
+// Sub returns b minus an earlier snapshot: the activity of just the
+// measurement phase.
+func (b *Breakdown) Sub(snap *Breakdown) *Breakdown {
+	c := NewBreakdown()
+	for k, v := range b.total {
+		if d := v - snap.total[k]; d != 0 {
+			c.total[k] = d
+		}
+	}
+	for k, v := range b.ops {
+		if d := v - snap.ops[k]; d != 0 {
+			c.ops[k] = d
+		}
+	}
+	return c
+}
+
+// Merge folds other into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	for k, v := range other.total {
+		b.total[k] += v
+	}
+	for k, v := range other.ops {
+		b.ops[k] += v
+	}
+}
+
+// Total returns the accumulated time in a stage.
+func (b *Breakdown) Total(stage string) sim.Time { return b.total[stage] }
+
+// Ops returns the number of samples recorded for a stage.
+func (b *Breakdown) Ops(stage string) int64 { return b.ops[stage] }
+
+// PerOp returns stage time divided across n operations.
+func (b *Breakdown) PerOp(stage string, n int64) sim.Time {
+	if n == 0 {
+		return 0
+	}
+	return b.total[stage] / sim.Time(n)
+}
+
+// GrandTotal sums every stage.
+func (b *Breakdown) GrandTotal() sim.Time {
+	var t sim.Time
+	for _, v := range b.total {
+		t += v
+	}
+	return t
+}
+
+// Render formats the breakdown as per-op rows over n operations.
+func (b *Breakdown) Render(n int64) string {
+	var sb strings.Builder
+	for _, s := range Stages {
+		if b.total[s] == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-22s %12v/op\n", s, b.PerOp(s, n))
+	}
+	return sb.String()
+}
+
+// Throughput returns operations per (virtual) second.
+func Throughput(ops int64, elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}
+
+// Series is a labeled sequence of (x, y) points — one figure line.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(label string, v float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, v)
+}
+
+// Table renders aligned rows for a set of series sharing labels.
+func Table(title string, series ...*Series) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	if len(series) == 0 {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  %-24s", "")
+	for _, s := range series {
+		fmt.Fprintf(&sb, " %16s", s.Name)
+	}
+	sb.WriteByte('\n')
+	for i, label := range series[0].Labels {
+		fmt.Fprintf(&sb, "  %-24s", label)
+		for _, s := range series {
+			if i < len(s.Values) {
+				fmt.Fprintf(&sb, " %16.2f", s.Values[i])
+			} else {
+				fmt.Fprintf(&sb, " %16s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SortedStages returns the stages present in b, presentation order first,
+// then extras alphabetically (for tests).
+func (b *Breakdown) SortedStages() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range Stages {
+		if b.total[s] != 0 {
+			out = append(out, s)
+			seen[s] = true
+		}
+	}
+	var extra []string
+	for s := range b.total {
+		if !seen[s] {
+			extra = append(extra, s)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}

@@ -1,0 +1,467 @@
+// Package pagecache models the OS page cache and the three file I/O schemes
+// the paper contrasts for hybrid-slab eviction (Section V-B2, Figure 4):
+//
+//	Direct I/O : syscall + synchronous device command for the full extent.
+//	Cached I/O : syscall + memcpy into resident pages; dirty pages are
+//	             written back asynchronously by a flusher daemon, with
+//	             dirty-ratio throttling stalling writers under pressure.
+//	Mmap I/O   : no syscall; minor fault per non-resident page, then pure
+//	             memcpy; msync or the flusher eventually cleans pages.
+//
+// These first-order costs are why the adaptive slab manager picks mmap for
+// small slab classes (syscall cost dominates) and cached I/O for large ones
+// (per-page fault cost dominates), with direct I/O always paying full device
+// latency synchronously.
+//
+// Contents are tracked as opaque payload extents per file; the page cache
+// tracks residency and dirtiness for timing only.
+package pagecache
+
+import (
+	"container/list"
+	"fmt"
+
+	"hybridkv/internal/blockdev"
+	"hybridkv/internal/sim"
+)
+
+// Scheme selects the I/O path for one file operation.
+type Scheme int
+
+const (
+	Direct Scheme = iota
+	Cached
+	Mmap
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Direct:
+		return "direct"
+	case Cached:
+		return "cached"
+	case Mmap:
+		return "mmap"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Params is the host-side cost model and cache geometry.
+type Params struct {
+	PageSize       int      // bytes per page
+	MaxPages       int      // resident-page limit (cache memory budget)
+	DirtyHighPages int      // flusher daemon kicks in above this
+	ThrottlePages  int      // writers stall above this
+	WritebackBatch int      // pages per flusher device command
+	MemcpyBps      int64    // host copy bandwidth
+	SyscallCost    sim.Time // read/write syscall entry+exit
+	FaultCost      sim.Time // minor page fault (mmap first touch)
+	ReadAheadPages int      // extra pages fetched on a cached read miss
+}
+
+// DefaultParams models a contemporary Linux host: 4 KB pages, ~8 GB/s
+// single-threaded copy bandwidth, ~1.8 µs syscall, ~1.5 µs minor fault, and
+// a 128 MB cache budget (the experiments cap server RAM, so the cache is
+// deliberately modest).
+func DefaultParams() Params {
+	return Params{
+		PageSize:       4096,
+		MaxPages:       32768, // 128 MB
+		DirtyHighPages: 8192,  // 32 MB
+		ThrottlePages:  16384, // 64 MB
+		WritebackBatch: 256,   // 1 MB per flusher command
+		MemcpyBps:      8_000_000_000,
+		SyscallCost:    1800 * sim.Nanosecond,
+		FaultCost:      1500 * sim.Nanosecond,
+		// Read-ahead is disabled by default: the key-value load pattern is
+		// random, and the kernel's readahead heuristic backs off to zero
+		// on random access. Sequential-scan callers can raise it.
+		ReadAheadPages: 0,
+	}
+}
+
+type pageKey struct {
+	file int
+	idx  int64
+}
+
+type page struct {
+	key   pageKey
+	dirty bool
+	lru   *list.Element
+}
+
+// Cache is one host's page cache in front of one device.
+type Cache struct {
+	env   *sim.Env
+	dev   *blockdev.Device
+	par   Params
+	pages map[pageKey]*page
+	lru   *list.List // front = most recent
+	dirty int
+	files int
+
+	wbKick   *sim.Event
+	wbYield  *sim.Event // fired after each flusher batch; throttled writers wait on it
+	stopping bool
+
+	// Stats
+	Hits, Misses   int64
+	Faults         int64
+	WritebackPages int64
+	ThrottleStalls int64
+}
+
+// New creates a page cache over dev and starts its flusher daemon.
+func New(env *sim.Env, dev *blockdev.Device, par Params) *Cache {
+	if par.PageSize <= 0 {
+		panic("pagecache: PageSize must be positive")
+	}
+	c := &Cache{
+		env:     env,
+		dev:     dev,
+		par:     par,
+		pages:   make(map[pageKey]*page),
+		lru:     list.New(),
+		wbKick:  env.NewEvent(),
+		wbYield: env.NewEvent(),
+	}
+	env.Spawn("pagecache-flusher", c.flusher)
+	return c
+}
+
+// Params returns the cache's cost model.
+func (c *Cache) Params() Params { return c.par }
+
+// Device returns the backing device.
+func (c *Cache) Device() *blockdev.Device { return c.dev }
+
+// Resident reports the number of resident pages.
+func (c *Cache) Resident() int { return len(c.pages) }
+
+// Dirty reports the number of dirty pages.
+func (c *Cache) Dirty() int { return c.dirty }
+
+func (c *Cache) memcpyTime(size int) sim.Time {
+	if size <= 0 || c.par.MemcpyBps <= 0 {
+		return 0
+	}
+	return sim.Time(float64(size) / float64(c.par.MemcpyBps) * float64(sim.Second))
+}
+
+// File is a region of the device accessed through the cache. Offsets are
+// file-relative; the file owns [base, base+size) on the device.
+type File struct {
+	c       *Cache
+	id      int
+	base    int64
+	size    int64
+	extents map[int64]extent
+}
+
+type extent struct {
+	size    int
+	payload any
+}
+
+// OpenFile carves a file over [base, base+size) of the device.
+func (c *Cache) OpenFile(base, size int64) *File {
+	c.files++
+	return &File{c: c, id: c.files, base: base, size: size, extents: make(map[int64]extent)}
+}
+
+// Size returns the file length in bytes.
+func (f *File) Size() int64 { return f.size }
+
+func (f *File) pageRange(off int64, size int) (first, last int64) {
+	ps := int64(f.c.par.PageSize)
+	return off / ps, (off + int64(size) - 1) / ps
+}
+
+func (f *File) check(off int64, size int) {
+	if off < 0 || size <= 0 || off+int64(size) > f.size {
+		panic(fmt.Sprintf("pagecache: access [%d,%d) outside file size %d", off, off+int64(size), f.size))
+	}
+}
+
+// Write stores payload at off using the given scheme, charging the process
+// the scheme's cost.
+func (f *File) Write(p *sim.Proc, off int64, size int, payload any, scheme Scheme) {
+	f.check(off, size)
+	c := f.c
+	switch scheme {
+	case Direct:
+		// Synchronous direct I/O: full device write plus the flush
+		// barrier, all on the caller's critical path.
+		p.Sleep(c.par.SyscallCost)
+		c.dev.ServeRaw(p, true, size)
+		c.dev.Barrier(p)
+	case Cached:
+		p.Sleep(c.par.SyscallCost)
+		p.Sleep(c.memcpyTime(size))
+		f.dirtyRange(p, off, size)
+		c.throttle(p)
+	case Mmap:
+		first, last := f.pageRange(off, size)
+		var faults int
+		for i := first; i <= last; i++ {
+			if _, ok := c.pages[pageKey{f.id, i}]; !ok {
+				faults++
+			}
+		}
+		if faults > 0 {
+			p.Sleep(sim.Time(faults) * c.par.FaultCost)
+			c.Faults += int64(faults)
+		}
+		p.Sleep(c.memcpyTime(size))
+		f.dirtyRange(p, off, size)
+		c.throttle(p)
+	}
+	f.extents[off] = extent{size: size, payload: payload}
+}
+
+// Read fetches the payload stored at off using the given scheme. ok reports
+// whether an extent was ever written there (timing is charged regardless).
+func (f *File) Read(p *sim.Proc, off int64, size int, scheme Scheme) (payload any, ok bool) {
+	f.check(off, size)
+	c := f.c
+	switch scheme {
+	case Direct:
+		p.Sleep(c.par.SyscallCost)
+		c.dev.ServeRaw(p, false, size)
+	case Cached:
+		p.Sleep(c.par.SyscallCost)
+		missBytes := f.missBytes(off, size)
+		if missBytes > 0 {
+			c.Misses++
+			ra := c.par.ReadAheadPages * c.par.PageSize
+			c.dev.ServeRaw(p, false, missBytes+ra)
+			f.residentRange(p, off, size, false)
+			// Read-ahead pages become resident beyond the request.
+			f.residentRange(p, min64(off+int64(size), f.size-1), int(min64(int64(ra), f.size-(off+int64(size)))), false)
+		} else {
+			c.Hits++
+		}
+		p.Sleep(c.memcpyTime(size))
+		f.touchRange(off, size)
+	case Mmap:
+		first, last := f.pageRange(off, size)
+		ps := int64(c.par.PageSize)
+		// Fault in non-resident runs with one device command per run
+		// (page-granular random reads: this is what makes mmap reads of
+		// cold large extents expensive).
+		runStart := int64(-1)
+		var faulted int64
+		for i := first; i <= last+1; i++ {
+			missing := false
+			if i <= last {
+				_, resident := c.pages[pageKey{f.id, i}]
+				missing = !resident
+			}
+			if missing && runStart < 0 {
+				runStart = i
+			}
+			if !missing && runStart >= 0 {
+				run := i - runStart
+				p.Sleep(sim.Time(run) * c.par.FaultCost)
+				c.dev.ServeRaw(p, false, int(run*ps))
+				faulted += run
+				runStart = -1
+			}
+		}
+		if faulted > 0 {
+			c.Faults += faulted
+			c.Misses++
+			f.residentRange(p, off, size, false)
+		} else {
+			c.Hits++
+		}
+		p.Sleep(c.memcpyTime(size))
+		f.touchRange(off, size)
+	}
+	e, ok := f.extents[off]
+	if !ok {
+		return nil, false
+	}
+	return e.payload, true
+}
+
+// Msync synchronously writes back all dirty pages of the file.
+func (f *File) Msync(p *sim.Proc) {
+	c := f.c
+	var batch int
+	for k, pg := range c.pages {
+		if k.file == f.id && pg.dirty {
+			pg.dirty = false
+			c.dirty--
+			batch++
+		}
+	}
+	if batch > 0 {
+		c.dev.ServeRaw(p, true, batch*c.par.PageSize)
+		c.WritebackPages += int64(batch)
+	}
+}
+
+// Discard drops the extent bookkeeping at off (slab reuse).
+func (f *File) Discard(off int64) { delete(f.extents, off) }
+
+// SetExtent records contents at off without any time charge. Callers use it
+// to place sub-extents inside a region whose I/O cost was already charged by
+// a single batched Write (e.g. a 1 MB slab flush containing many items).
+func (f *File) SetExtent(off int64, size int, payload any) {
+	f.check(off, size)
+	f.extents[off] = extent{size: size, payload: payload}
+}
+
+// missBytes returns the byte count of non-resident pages in the range.
+func (f *File) missBytes(off int64, size int) int {
+	first, last := f.pageRange(off, size)
+	n := 0
+	for i := first; i <= last; i++ {
+		if _, ok := f.c.pages[pageKey{f.id, i}]; !ok {
+			n++
+		}
+	}
+	return n * f.c.par.PageSize
+}
+
+// residentRange marks pages resident (dirty if dirty=true), evicting as
+// needed to stay under MaxPages.
+func (f *File) residentRange(p *sim.Proc, off int64, size int, dirty bool) {
+	if size <= 0 {
+		return
+	}
+	c := f.c
+	first, last := f.pageRange(off, size)
+	for i := first; i <= last; i++ {
+		k := pageKey{f.id, i}
+		pg, ok := c.pages[k]
+		if !ok {
+			c.evictFor(p, 1)
+			pg = &page{key: k}
+			pg.lru = c.lru.PushFront(pg)
+			c.pages[k] = pg
+		} else {
+			c.lru.MoveToFront(pg.lru)
+		}
+		if dirty && !pg.dirty {
+			pg.dirty = true
+			c.dirty++
+		}
+	}
+}
+
+func (f *File) dirtyRange(p *sim.Proc, off int64, size int) {
+	f.residentRange(p, off, size, true)
+	c := f.c
+	if c.dirty > c.par.DirtyHighPages {
+		c.kickFlusher()
+	}
+}
+
+func (f *File) touchRange(off int64, size int) {
+	c := f.c
+	first, last := f.pageRange(off, size)
+	for i := first; i <= last; i++ {
+		if pg, ok := c.pages[pageKey{f.id, i}]; ok {
+			c.lru.MoveToFront(pg.lru)
+		}
+	}
+}
+
+// evictFor makes room for n new pages by dropping clean LRU pages; dirty
+// LRU pages are flushed synchronously in the caller's context if no clean
+// page is available (direct-reclaim behaviour).
+func (c *Cache) evictFor(p *sim.Proc, n int) {
+	if c.par.MaxPages <= 0 {
+		return
+	}
+	for len(c.pages)+n > c.par.MaxPages {
+		// Scan from the back for a clean victim.
+		var victim *page
+		for e := c.lru.Back(); e != nil; e = e.Prev() {
+			pg := e.Value.(*page)
+			if !pg.dirty {
+				victim = pg
+				break
+			}
+		}
+		if victim == nil {
+			// Direct reclaim: flush the oldest dirty page synchronously.
+			e := c.lru.Back()
+			if e == nil {
+				return
+			}
+			pg := e.Value.(*page)
+			c.dev.ServeRaw(p, true, c.par.PageSize)
+			c.WritebackPages++
+			pg.dirty = false
+			c.dirty--
+			victim = pg
+		}
+		c.lru.Remove(victim.lru)
+		delete(c.pages, victim.key)
+	}
+}
+
+// throttle stalls the writer while the dirty set exceeds ThrottlePages.
+func (c *Cache) throttle(p *sim.Proc) {
+	for c.dirty > c.par.ThrottlePages {
+		c.ThrottleStalls++
+		c.kickFlusher()
+		ev := c.wbYield
+		p.Wait(ev)
+	}
+}
+
+func (c *Cache) kickFlusher() {
+	if !c.wbKick.Fired() {
+		c.wbKick.Fire()
+	}
+}
+
+// Kick wakes the writeback daemon regardless of watermarks (sync(1)-style:
+// used to drain dirty state before a measurement phase).
+func (c *Cache) Kick() { c.kickFlusher() }
+
+// flusher is the background writeback daemon.
+func (c *Cache) flusher(p *sim.Proc) {
+	for {
+		if c.dirty <= c.par.DirtyHighPages/2 {
+			ev := c.wbKick
+			p.Wait(ev)
+			c.wbKick = c.env.NewEvent()
+		}
+		// Collect a batch of dirty pages, oldest first.
+		batch := 0
+		for e := c.lru.Back(); e != nil && batch < c.par.WritebackBatch; e = e.Prev() {
+			pg := e.Value.(*page)
+			if pg.dirty {
+				pg.dirty = false
+				c.dirty--
+				batch++
+			}
+		}
+		if batch == 0 {
+			// Nothing flushable despite the kick; rearm and wait.
+			ev := c.wbKick
+			p.Wait(ev)
+			c.wbKick = c.env.NewEvent()
+			continue
+		}
+		c.dev.ServeRaw(p, true, batch*c.par.PageSize)
+		c.WritebackPages += int64(batch)
+		// Release throttled writers.
+		y := c.wbYield
+		c.wbYield = c.env.NewEvent()
+		y.Fire()
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

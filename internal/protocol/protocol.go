@@ -1,0 +1,249 @@
+// Package protocol defines the binary wire protocol between the
+// libmemcached-style client runtime and the hybrid Memcached server: request
+// and response headers, opcodes and status codes, plus marshaling used to
+// pin down exact wire sizes. In the simulation, messages travel as structs
+// for speed while Size fields always come from the marshaled header length,
+// so the timing model matches the real encoding.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Opcode identifies a message type.
+type Opcode uint8
+
+const (
+	OpSet Opcode = iota + 1
+	OpGet
+	OpDelete
+	OpResponse
+	// OpBufferAck tells the client its request (header and value) is
+	// buffered server-side and its buffers are reusable; it also returns
+	// one flow-control credit (the server re-posted a receive).
+	OpBufferAck
+	// Storage commands of the full memcached command set.
+	OpAdd     // store only if the key does not exist
+	OpReplace // store only if the key exists
+	OpAppend  // concatenate after the existing value
+	OpPrepend // concatenate before the existing value
+	OpCAS     // store only if the caller's CAS token is current
+	OpIncr    // arithmetic increment of a counter value
+	OpDecr    // arithmetic decrement (floored at zero)
+	OpTouch   // update the expiration time only
+	// OpFlushAll invalidates every item on the server.
+	OpFlushAll
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpSet:
+		return "SET"
+	case OpGet:
+		return "GET"
+	case OpDelete:
+		return "DELETE"
+	case OpResponse:
+		return "RESPONSE"
+	case OpBufferAck:
+		return "BUFFER_ACK"
+	case OpAdd:
+		return "ADD"
+	case OpReplace:
+		return "REPLACE"
+	case OpAppend:
+		return "APPEND"
+	case OpPrepend:
+		return "PREPEND"
+	case OpCAS:
+		return "CAS"
+	case OpIncr:
+		return "INCR"
+	case OpDecr:
+		return "DECR"
+	case OpTouch:
+		return "TOUCH"
+	case OpFlushAll:
+		return "FLUSH_ALL"
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(o))
+}
+
+// Status is a response status code.
+type Status uint8
+
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusStored
+	StatusDeleted
+	StatusTooLarge
+	StatusError
+	// StatusNotStored rejects Add on an existing key or Replace/Append/
+	// Prepend on a missing one.
+	StatusNotStored
+	// StatusExists rejects a CAS store whose token is stale.
+	StatusExists
+	// StatusBadValue rejects Incr/Decr on a non-counter value.
+	StatusBadValue
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusStored:
+		return "STORED"
+	case StatusDeleted:
+		return "DELETED"
+	case StatusTooLarge:
+		return "TOO_LARGE"
+	case StatusError:
+		return "ERROR"
+	case StatusNotStored:
+		return "NOT_STORED"
+	case StatusExists:
+		return "EXISTS"
+	case StatusBadValue:
+		return "BAD_VALUE"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Request is a client→server message.
+type Request struct {
+	Op        Opcode
+	ReqID     uint64
+	Key       string
+	Flags     uint32
+	Expire    uint32 // seconds; 0 = never
+	ValueSize int    // bytes of value carried (Set only)
+	Value     any    // opaque payload token (Set only)
+	// RespMR is the client's registered response region; the server
+	// RDMA-WRITEs the response there (RDMA transport only).
+	RespMR int
+	// AckWanted asks the server to send OpBufferAck as soon as the
+	// request is buffered (bset/bget semantics on an async server).
+	AckWanted bool
+	// CAS carries the caller's token for OpCAS.
+	CAS uint64
+	// Delta carries the Incr/Decr amount.
+	Delta uint64
+}
+
+// Response is a server→client message.
+type Response struct {
+	Op        Opcode // OpResponse or OpBufferAck
+	ReqID     uint64
+	Status    Status
+	Flags     uint32
+	CAS       uint64
+	ValueSize int
+	Value     any
+}
+
+// Header sizes, fixed by the marshaled layout below.
+const (
+	// op + ackWanted + pad(2) + flags + expire + valueSize + respMR +
+	// reqID + keyLen + cas + delta
+	reqFixedBytes  = 52
+	RespHeaderSize = 32
+)
+
+// WireSize returns the bytes this request occupies on the wire:
+// fixed header + key + value.
+func (r *Request) WireSize() int {
+	return reqFixedBytes + len(r.Key) + r.ValueSize
+}
+
+// HeaderSize returns the bytes of the request header alone (no value).
+func (r *Request) HeaderSize() int {
+	return reqFixedBytes + len(r.Key)
+}
+
+// WireSize returns the bytes this response occupies on the wire.
+func (r *Response) WireSize() int {
+	if r.Op == OpBufferAck {
+		return RespHeaderSize
+	}
+	return RespHeaderSize + r.ValueSize
+}
+
+// MarshalHeader encodes the request header (everything but the value bytes).
+func (r *Request) MarshalHeader() []byte {
+	buf := make([]byte, 0, r.HeaderSize())
+	buf = append(buf, byte(r.Op))
+	if r.AckWanted {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = append(buf, 0, 0) // pad
+	buf = binary.LittleEndian.AppendUint32(buf, r.Flags)
+	buf = binary.LittleEndian.AppendUint32(buf, r.Expire)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.ValueSize))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.RespMR))
+	buf = binary.LittleEndian.AppendUint64(buf, r.ReqID)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(r.Key)))
+	buf = binary.LittleEndian.AppendUint64(buf, r.CAS)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Delta)
+	buf = append(buf, r.Key...)
+	return buf
+}
+
+// ErrShortHeader reports a truncated or corrupt header.
+var ErrShortHeader = errors.New("protocol: short or corrupt header")
+
+// UnmarshalHeader decodes a request header produced by MarshalHeader.
+func UnmarshalHeader(b []byte) (*Request, error) {
+	if len(b) < reqFixedBytes {
+		return nil, ErrShortHeader
+	}
+	r := &Request{
+		Op:        Opcode(b[0]),
+		AckWanted: b[1] == 1,
+		Flags:     binary.LittleEndian.Uint32(b[4:]),
+		Expire:    binary.LittleEndian.Uint32(b[8:]),
+		ValueSize: int(binary.LittleEndian.Uint32(b[12:])),
+		RespMR:    int(binary.LittleEndian.Uint32(b[16:])),
+		ReqID:     binary.LittleEndian.Uint64(b[20:]),
+	}
+	keyLen := binary.LittleEndian.Uint64(b[28:])
+	r.CAS = binary.LittleEndian.Uint64(b[36:])
+	r.Delta = binary.LittleEndian.Uint64(b[44:])
+	if uint64(len(b)) < uint64(reqFixedBytes)+keyLen {
+		return nil, ErrShortHeader
+	}
+	r.Key = string(b[reqFixedBytes : uint64(reqFixedBytes)+keyLen])
+	return r, nil
+}
+
+// Marshal encodes the response header.
+func (r *Response) Marshal() []byte {
+	buf := make([]byte, 0, RespHeaderSize)
+	buf = append(buf, byte(r.Op), byte(r.Status), 0, 0)
+	buf = binary.LittleEndian.AppendUint32(buf, r.Flags)
+	buf = binary.LittleEndian.AppendUint64(buf, r.CAS)
+	buf = binary.LittleEndian.AppendUint64(buf, r.ReqID)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.ValueSize))
+	return buf
+}
+
+// UnmarshalResponse decodes a response header.
+func UnmarshalResponse(b []byte) (*Response, error) {
+	if len(b) < RespHeaderSize {
+		return nil, ErrShortHeader
+	}
+	return &Response{
+		Op:        Opcode(b[0]),
+		Status:    Status(b[1]),
+		Flags:     binary.LittleEndian.Uint32(b[4:]),
+		CAS:       binary.LittleEndian.Uint64(b[8:]),
+		ReqID:     binary.LittleEndian.Uint64(b[16:]),
+		ValueSize: int(binary.LittleEndian.Uint64(b[24:])),
+	}, nil
+}

@@ -1,0 +1,336 @@
+// Package server implements the Memcached server engine in the two pipeline
+// designs the paper contrasts (Section V-B1, Figure 3):
+//
+//	Sync  — the request dispatcher executes the storage phase (slab
+//	        allocation / SSD eviction / cache load) inline, then responds.
+//	        While a hybrid eviction runs, no other request makes progress
+//	        and no receive buffer is re-posted: this is the H-RDMA-Def /
+//	        H-RDMA-Opt-Block behaviour whose client-side symptom is the
+//	        long "client wait" stage.
+//
+//	Async — the dispatcher runs only the communication phase: it moves the
+//	        request into a bounded buffer, re-posts the receive (returning a
+//	        flow-control credit to the client) and sends an early BufferAck
+//	        when the client asked for one. A pool of storage workers drains
+//	        the buffer, executes the storage phase, and responds. Expensive
+//	        hybrid-memory eviction thus happens asynchronously while the
+//	        client proceeds — the enhancement behind H-RDMA-Opt-NonB-b/i.
+//
+// The RDMA path speaks verbs (two-sided SEND for requests, one-sided RDMA
+// WRITE-with-immediate into the client's registered response region for
+// responses); the IPoIB path speaks stream sockets.
+package server
+
+import (
+	"fmt"
+
+	"hybridkv/internal/metrics"
+	"hybridkv/internal/protocol"
+	"hybridkv/internal/sim"
+	"hybridkv/internal/simnet"
+	"hybridkv/internal/store"
+	"hybridkv/internal/verbs"
+)
+
+// Pipeline selects the request-handling design.
+type Pipeline int
+
+const (
+	Sync Pipeline = iota
+	Async
+)
+
+func (pl Pipeline) String() string {
+	if pl == Async {
+		return "async"
+	}
+	return "sync"
+}
+
+// Config tunes one server.
+type Config struct {
+	// Name identifies the server in logs and process names.
+	Name string
+	// Pipeline selects the sync or async design.
+	Pipeline Pipeline
+	// StorageWorkers is the async storage pool size (default 4).
+	StorageWorkers int
+	// BufferBytes bounds the async request buffer by memory, not request
+	// count (default 2 MB). Buffered GET requests are header-sized, so
+	// thousands fit and BufferAcks flow freely; buffered SET requests
+	// carry their values, so when the storage pool falls behind writes,
+	// the dispatcher stalls here, receives stop being re-posted, and
+	// clients run out of credits — the backpressure that throttles bset
+	// under write-heavy load (Figure 7(a)).
+	BufferBytes int
+	// RecvDepth is the number of receives pre-posted per client QP, which
+	// equals the flow-control credits each client connection gets. The
+	// default (16384) is deliberately deep: like the reference system,
+	// request admission is governed by the buffer-memory bound
+	// (BufferBytes), not by receive credits, so small requests are never
+	// throttled behind bulk responses.
+	RecvDepth int
+	// ParseCost is the per-request header parse/dispatch cost
+	// (default 400 ns).
+	ParseCost sim.Time
+}
+
+func (c *Config) fill() {
+	if c.StorageWorkers <= 0 {
+		c.StorageWorkers = 4
+	}
+	if c.BufferBytes <= 0 {
+		c.BufferBytes = 2 << 20
+	}
+	if c.RecvDepth <= 0 {
+		c.RecvDepth = 16384
+	}
+	if c.ParseCost <= 0 {
+		c.ParseCost = 400 * sim.Nanosecond
+	}
+}
+
+// Host-side copy bandwidth for staging responses into registered buffers.
+const memcpyBps = 8_000_000_000
+
+func memcpyTime(size int) sim.Time {
+	if size <= 0 {
+		return 0
+	}
+	return sim.Time(float64(size) / float64(memcpyBps) * float64(sim.Second))
+}
+
+// Server is one Memcached server instance.
+type Server struct {
+	env *sim.Env
+	st  *store.Store
+	cfg Config
+
+	// RDMA mode
+	dev       *verbs.Device
+	recvCQ    *verbs.CQ
+	sendCQ    *verbs.CQ
+	connByQPN map[int]*rdmaConn
+
+	// IPoIB mode
+	host *verbs.Host
+
+	// Async pipeline
+	slots *sim.Resource
+	reqQ  *sim.Queue[task]
+
+	started bool
+
+	// Stats
+	Requests int64
+	Acks     int64
+}
+
+type rdmaConn struct {
+	qp *verbs.QP
+}
+
+type task struct {
+	req  *protocol.Request
+	conn *rdmaConn
+}
+
+// NewRDMA creates an RDMA-transport server on node.
+func NewRDMA(env *sim.Env, node *simnet.Node, st *store.Store, cfg Config) *Server {
+	cfg.fill()
+	if cfg.Name == "" {
+		cfg.Name = "server:" + node.Name()
+	}
+	s := &Server{
+		env:       env,
+		st:        st,
+		cfg:       cfg,
+		dev:       verbs.OpenDevice(node),
+		connByQPN: make(map[int]*rdmaConn),
+	}
+	s.recvCQ = s.dev.CreateCQ(0)
+	s.sendCQ = s.dev.CreateCQ(0)
+	return s
+}
+
+// NewIPoIB creates an IPoIB-transport server on node (default Memcached).
+func NewIPoIB(env *sim.Env, node *simnet.Node, st *store.Store, cfg Config) *Server {
+	cfg.fill()
+	if cfg.Name == "" {
+		cfg.Name = "server:" + node.Name()
+	}
+	return &Server{
+		env:  env,
+		st:   st,
+		cfg:  cfg,
+		host: verbs.NewHost(node),
+	}
+}
+
+// Store returns the server's item store.
+func (s *Server) Store() *store.Store { return s.st }
+
+// Config returns the effective configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Device returns the RDMA device (nil in IPoIB mode).
+func (s *Server) Device() *verbs.Device { return s.dev }
+
+// Host returns the IPoIB socket host (nil in RDMA mode).
+func (s *Server) Host() *verbs.Host { return s.host }
+
+// RecvDepth returns the per-connection credit count clients must respect.
+func (s *Server) RecvDepth() int { return s.cfg.RecvDepth }
+
+// AcceptQP creates and connects a server-side QP for a client QP, and
+// pre-posts the receive pool. Call before Start or during the run.
+func (s *Server) AcceptQP(clientQP *verbs.QP) *verbs.QP {
+	if s.dev == nil {
+		panic("server: AcceptQP on an IPoIB server")
+	}
+	qp := s.dev.CreateQP(s.sendCQ, s.recvCQ)
+	verbs.Connect(clientQP, qp)
+	for i := 0; i < s.cfg.RecvDepth; i++ {
+		qp.PostRecv(verbs.RecvWR{})
+	}
+	s.connByQPN[qp.QPN()] = &rdmaConn{qp: qp}
+	return qp
+}
+
+// Start launches the server's processes.
+func (s *Server) Start() {
+	if s.started {
+		panic("server: double Start")
+	}
+	s.started = true
+	if s.cfg.Pipeline == Async {
+		s.slots = sim.NewResource(s.env, s.cfg.BufferBytes)
+		s.reqQ = sim.NewQueue[task](s.env, 0)
+		for i := 0; i < s.cfg.StorageWorkers; i++ {
+			s.env.Spawn(fmt.Sprintf("%s/worker%d", s.cfg.Name, i), s.storageWorker)
+		}
+	}
+	if s.dev != nil {
+		s.env.Spawn(s.cfg.Name+"/dispatcher", s.rdmaDispatcher)
+	} else {
+		s.env.Spawn(s.cfg.Name+"/accept", s.ipoibAcceptLoop)
+	}
+}
+
+// rdmaDispatcher drains the shared receive CQ.
+func (s *Server) rdmaDispatcher(p *sim.Proc) {
+	for {
+		c := s.recvCQ.WaitPoll(p)
+		req, ok := c.Payload.(*protocol.Request)
+		if !ok {
+			panic("server: non-request payload on receive CQ")
+		}
+		conn := s.connByQPN[c.QPN]
+		if conn == nil {
+			panic(fmt.Sprintf("server: completion for unknown QP %d", c.QPN))
+		}
+		p.Sleep(s.cfg.ParseCost)
+		s.Requests++
+		if s.cfg.Pipeline == Sync {
+			// Storage phase inline; the receive slot is held until the
+			// request finishes (the client's credit comes back with the
+			// response).
+			resp := s.st.Handle(p, req)
+			s.respond(p, conn, req, resp)
+			conn.qp.PostRecv(verbs.RecvWR{})
+			continue
+		}
+		// Async: communication phase only. Reserve buffer memory for the
+		// request (header + any carried value): this is where
+		// backpressure forms when storage falls behind.
+		s.slots.AcquireN(p, req.WireSize())
+		conn.qp.PostRecv(verbs.RecvWR{})
+		if req.AckWanted {
+			s.sendAck(p, conn, req)
+		}
+		s.reqQ.Put(p, task{req: req, conn: conn})
+	}
+}
+
+// storageWorker executes buffered requests and responds.
+func (s *Server) storageWorker(p *sim.Proc) {
+	for {
+		t, ok := s.reqQ.Get(p)
+		if !ok {
+			return
+		}
+		resp := s.st.Handle(p, t.req)
+		s.respond(p, t.conn, t.req, resp)
+		s.slots.ReleaseN(t.req.WireSize())
+	}
+}
+
+// respond RDMA-WRITEs the response into the client's registered response
+// region, with the request id as immediate data. The time to stage the
+// value into a registered bounce buffer plus the doorbell is the server's
+// "Server Response" stage.
+func (s *Server) respond(p *sim.Proc, conn *rdmaConn, req *protocol.Request, resp *protocol.Response) {
+	t0 := p.Now()
+	p.Sleep(memcpyTime(resp.ValueSize))
+	conn.qp.PostSend(p, verbs.SendWR{
+		WRID:     resp.ReqID,
+		Op:       verbs.OpWriteImm,
+		Size:     resp.WireSize(),
+		Payload:  resp,
+		RemoteMR: req.RespMR,
+		Imm:      resp.ReqID,
+	})
+	s.st.Prof.Add(metrics.StageResponse, p.Now()-t0)
+}
+
+// sendAck notifies the client that its request is buffered server-side and
+// its buffers are reusable (async design; carries a flow-control credit).
+func (s *Server) sendAck(p *sim.Proc, conn *rdmaConn, req *protocol.Request) {
+	ack := &protocol.Response{Op: protocol.OpBufferAck, ReqID: req.ReqID, Status: protocol.StatusOK}
+	conn.qp.PostSend(p, verbs.SendWR{
+		WRID:     req.ReqID,
+		Op:       verbs.OpWriteImm,
+		Size:     ack.WireSize(),
+		Payload:  ack,
+		RemoteMR: req.RespMR,
+		Imm:      req.ReqID,
+	})
+	s.Acks++
+}
+
+// ipoibAcceptLoop accepts stream connections and spawns a handler per
+// connection (default Memcached's thread-per-connection event handling,
+// always the sync design).
+func (s *Server) ipoibAcceptLoop(p *sim.Proc) {
+	n := 0
+	for {
+		stream, ok := s.host.Accept(p)
+		if !ok {
+			return
+		}
+		n++
+		s.env.Spawn(fmt.Sprintf("%s/conn%d", s.cfg.Name, n), func(hp *sim.Proc) {
+			s.ipoibHandler(hp, stream)
+		})
+	}
+}
+
+func (s *Server) ipoibHandler(p *sim.Proc, stream *verbs.Stream) {
+	for {
+		msg, ok := stream.Recv(p)
+		if !ok {
+			return
+		}
+		req, okReq := msg.Payload.(*protocol.Request)
+		if !okReq {
+			panic("server: non-request payload on IPoIB stream")
+		}
+		p.Sleep(s.cfg.ParseCost)
+		s.Requests++
+		resp := s.st.Handle(p, req)
+		t0 := p.Now()
+		p.Sleep(memcpyTime(resp.ValueSize))
+		stream.Send(p, resp.WireSize(), resp)
+		s.st.Prof.Add(metrics.StageResponse, p.Now()-t0)
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+// Queue is a FIFO channel-like conduit between simulated processes with an
+// optional capacity bound. A capacity of 0 means unbounded. Handoff is
+// instantaneous in virtual time; use it to model request queues, NIC work
+// queues, device submission queues and similar structures.
+type Queue[T any] struct {
+	env     *Env
+	cap     int
+	items   []T
+	getters []*qwaiter[T]
+	putters []*pwaiter[T]
+	closed  bool
+}
+
+type qwaiter[T any] struct {
+	w *wakeup
+	p *Proc
+}
+
+type pwaiter[T any] struct {
+	w *wakeup
+	p *Proc
+	v T
+}
+
+// NewQueue returns a queue bound to env. capacity ≤ 0 means unbounded.
+func NewQueue[T any](env *Env, capacity int) *Queue[T] {
+	return &Queue[T]{env: env, cap: capacity}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Cap returns the capacity bound (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Close marks the queue closed: subsequent Put panics, pending and future
+// Gets drain remaining items and then return ok=false.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	// Wake blocked getters; they will observe the close.
+	for _, g := range q.getters {
+		if !g.w.canceled {
+			g.p.xfer = closedSentinel
+			q.env.fireWakeup(g.w)
+		}
+	}
+	q.getters = nil
+}
+
+// TryPut appends v without blocking. It reports false if the queue is full.
+// Panics if the queue is closed.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.closed {
+		panic("sim: Put on closed Queue")
+	}
+	if g := q.popGetter(); g != nil {
+		g.p.xfer = v
+		q.env.fireWakeup(g.w)
+		return true
+	}
+	if q.cap > 0 && len(q.items) >= q.cap {
+		return false
+	}
+	q.items = append(q.items, v)
+	return true
+}
+
+// Put appends v, blocking the process while the queue is full.
+func (q *Queue[T]) Put(p *Proc, v T) {
+	if q.TryPut(v) {
+		return
+	}
+	w := q.env.pendingWakeup(p, 0)
+	q.putters = append(q.putters, &pwaiter[T]{w: w, p: p, v: v})
+	p.park()
+}
+
+// TryGet removes and returns the head item without blocking. ok is false if
+// the queue is empty.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items[0] = *new(T)
+	q.items = q.items[1:]
+	q.admitPutter()
+	return v, true
+}
+
+// Get removes and returns the head item, blocking the process while the
+// queue is empty. ok is false only if the queue was closed and drained.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	if v, ok = q.TryGet(); ok {
+		return v, true
+	}
+	if q.closed {
+		return v, false
+	}
+	w := q.env.pendingWakeup(p, 0)
+	q.getters = append(q.getters, &qwaiter[T]{w: w, p: p})
+	p.park()
+	if p.xfer == closedSentinel {
+		// Woken by Close: drain any buffered remainder first.
+		p.xfer = nil
+		if v, ok = q.TryGet(); ok {
+			return v, true
+		}
+		return v, false
+	}
+	v = p.xfer.(T)
+	p.xfer = nil
+	return v, true
+}
+
+// closedSentinel marks a getter wakeup caused by Close rather than a value
+// handoff.
+var closedSentinel = new(int)
+
+// popGetter removes and returns the first live blocked getter, or nil.
+func (q *Queue[T]) popGetter() *qwaiter[T] {
+	for len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		if !g.w.canceled {
+			return g
+		}
+	}
+	return nil
+}
+
+// admitPutter moves one blocked putter's value into freed buffer space.
+func (q *Queue[T]) admitPutter() {
+	for len(q.putters) > 0 {
+		if q.cap > 0 && len(q.items) >= q.cap {
+			return
+		}
+		pw := q.putters[0]
+		q.putters = q.putters[1:]
+		if pw.w.canceled {
+			continue
+		}
+		q.items = append(q.items, pw.v)
+		q.env.fireWakeup(pw.w)
+		return
+	}
+}

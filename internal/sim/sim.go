@@ -1,0 +1,417 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// Every actor in the simulated cluster (client, server worker, NIC engine,
+// SSD channel, writeback daemon, ...) runs as a Proc: a goroutine that
+// executes under a virtual clock owned by an Env. The kernel enforces a
+// strict scheduler/process handoff, so exactly one process runs at any
+// instant. Shared simulation state therefore needs no locking, results are
+// bit-for-bit reproducible, and virtual time advances with nanosecond
+// precision regardless of host timer resolution.
+//
+// The blocking primitives (Sleep, Event.Wait, Queue.Get/Put,
+// Resource.Acquire) must only be called from inside the owning process's
+// goroutine. Non-blocking variants (TryGet, TryPut, Fire, ...) may be called
+// from any process, or from outside the simulation before Run starts.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// Time is virtual time elapsed since the start of the simulation.
+type Time = time.Duration
+
+// Common virtual-time units, re-exported so model code does not need to
+// import time alongside sim.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// wakeup is a pending reason for a process to resume. A process may have
+// several outstanding wakeups (e.g. an event wait plus a timeout); whichever
+// is delivered first cancels the rest.
+type wakeup struct {
+	at       Time
+	seq      int64
+	p        *Proc
+	tag      int // cause identifier, returned to the parked process
+	canceled bool
+	index    int // position in the heap, -1 if not scheduled
+}
+
+type wakeupHeap []*wakeup
+
+func (h wakeupHeap) Len() int { return len(h) }
+func (h wakeupHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h wakeupHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *wakeupHeap) Push(x any) {
+	w := x.(*wakeup)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *wakeupHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.index = -1
+	*h = old[:n-1]
+	return w
+}
+
+// Env owns the virtual clock and the event queue of one simulation.
+type Env struct {
+	now     Time
+	seq     int64
+	heap    wakeupHeap
+	yield   chan struct{}
+	cur     *Proc
+	parked  int // processes alive but blocked with no scheduled wakeup
+	alive   int
+	stopped bool
+	fault   any // first panic value raised by a process
+}
+
+// NewEnv returns a fresh simulation environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Alive returns the number of processes that have been spawned and have not
+// yet finished.
+func (e *Env) Alive() int { return e.alive }
+
+// Proc is one simulated process. All blocking kernel primitives take place
+// on behalf of a Proc and must be invoked from its own goroutine.
+type Proc struct {
+	env      *Env
+	name     string
+	resume   chan struct{}
+	pending  []*wakeup
+	wokenTag int
+	xfer     any // value slot for queue handoff
+	done     bool
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment this process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Spawn creates a new process executing fn and schedules it to start at the
+// current virtual time. It may be called before Run, or from any running
+// process.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt is like Spawn but delays the process start until virtual time t.
+func (e *Env) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	if t < e.now {
+		t = e.now
+	}
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.alive++
+	go func() {
+		<-p.resume
+		func() {
+			// Capture process panics so the scheduler can re-raise them
+			// from Run, in the simulation driver's goroutine.
+			defer func() {
+				if r := recover(); r != nil && e.fault == nil {
+					e.fault = fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
+				}
+			}()
+			fn(p)
+		}()
+		p.done = true
+		e.alive--
+		e.yield <- struct{}{}
+	}()
+	e.scheduleWakeup(t, p, 0)
+	return p
+}
+
+// scheduleWakeup enqueues a wakeup for p at time t and returns it.
+func (e *Env) scheduleWakeup(t Time, p *Proc, tag int) *wakeup {
+	e.seq++
+	w := &wakeup{at: t, seq: e.seq, p: p, tag: tag, index: -1}
+	p.pending = append(p.pending, w)
+	heap.Push(&e.heap, w)
+	return w
+}
+
+// pendingWakeup registers a wakeup that is not yet scheduled on the clock
+// (used by Event waiters and queue waiters; they are pushed onto the heap
+// when fired/served).
+func (e *Env) pendingWakeup(p *Proc, tag int) *wakeup {
+	e.seq++
+	w := &wakeup{seq: e.seq, p: p, tag: tag, index: -1}
+	p.pending = append(p.pending, w)
+	return w
+}
+
+// fireWakeup schedules a previously pending wakeup to deliver now.
+func (e *Env) fireWakeup(w *wakeup) {
+	if w.canceled || w.index >= 0 {
+		return
+	}
+	w.at = e.now
+	e.seq++
+	w.seq = e.seq
+	heap.Push(&e.heap, w)
+}
+
+// park blocks the calling process until one of its pending wakeups is
+// delivered, and returns that wakeup's tag. All other pending wakeups are
+// canceled.
+func (p *Proc) park() int {
+	e := p.env
+	e.yield <- struct{}{}
+	<-p.resume
+	return p.wokenTag
+}
+
+// Run executes the simulation until no scheduled wakeups remain, and returns
+// the final virtual time. Processes still blocked on events/queues at that
+// point remain parked; use Parked or Alive to detect them in tests.
+func (e *Env) Run() Time { return e.RunUntil(-1) }
+
+// RunUntil executes scheduled wakeups with time ≤ limit (limit < 0 means no
+// limit) and returns the virtual time reached.
+func (e *Env) RunUntil(limit Time) Time {
+	for e.heap.Len() > 0 {
+		w := e.heap[0]
+		if w.canceled {
+			heap.Pop(&e.heap)
+			continue
+		}
+		if limit >= 0 && w.at > limit {
+			e.now = limit
+			return e.now
+		}
+		heap.Pop(&e.heap)
+		if w.at > e.now {
+			e.now = w.at
+		}
+		p := w.p
+		// Deliver: cancel the process's other pending wakeups.
+		for _, o := range p.pending {
+			if o != w {
+				o.canceled = true
+			}
+		}
+		p.pending = p.pending[:0]
+		p.wokenTag = w.tag
+		e.cur = p
+		p.resume <- struct{}{}
+		<-e.yield
+		e.cur = nil
+		if e.fault != nil {
+			f := e.fault
+			e.fault = nil
+			panic(f)
+		}
+	}
+	if limit >= 0 && limit > e.now {
+		e.now = limit
+	}
+	return e.now
+}
+
+// Parked reports how many live processes are currently blocked with no
+// scheduled wakeup (i.e. waiting on an Event, Queue or Resource). Only
+// meaningful when Run has returned.
+func (e *Env) Parked() int {
+	return e.alive
+}
+
+// Sleep suspends the process for d of virtual time. Negative durations are
+// treated as zero (yield to same-time events already scheduled).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.scheduleWakeup(p.env.now+d, p, 0)
+	p.park()
+}
+
+// WaitUntil suspends the process until virtual time t (no-op if t has
+// passed).
+func (p *Proc) WaitUntil(t Time) {
+	if t <= p.env.now {
+		p.Yield()
+		return
+	}
+	p.env.scheduleWakeup(t, p, 0)
+	p.park()
+}
+
+// Yield reschedules the process at the current time behind already-scheduled
+// same-time wakeups.
+func (p *Proc) Yield() {
+	p.env.scheduleWakeup(p.env.now, p, 0)
+	p.park()
+}
+
+// Event is a one-shot condition processes can wait on. The zero value is not
+// usable; create with Env.NewEvent.
+type Event struct {
+	env     *Env
+	fired   bool
+	waiters []*wakeup
+}
+
+// NewEvent returns a fresh unfired event.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire marks the event complete and wakes all waiters at the current virtual
+// time. Firing an already-fired event is a no-op.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, w := range ev.waiters {
+		ev.env.fireWakeup(w)
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks the process until the event fires. Returns immediately if it
+// already has.
+func (p *Proc) Wait(ev *Event) {
+	if ev.fired {
+		return
+	}
+	w := p.env.pendingWakeup(p, 0)
+	ev.waiters = append(ev.waiters, w)
+	p.park()
+}
+
+// tags distinguishing wakeup causes for multi-cause parks.
+const (
+	tagDefault = 0
+	tagEvent   = 1
+	tagTimeout = 2
+)
+
+// WaitTimeout blocks until the event fires or d elapses, whichever is first.
+// It reports whether the event fired (true) or the timeout won (false).
+func (p *Proc) WaitTimeout(ev *Event, d Time) bool {
+	if ev.fired {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	w := p.env.pendingWakeup(p, tagEvent)
+	ev.waiters = append(ev.waiters, w)
+	p.env.scheduleWakeup(p.env.now+d, p, tagTimeout)
+	return p.park() == tagEvent
+}
+
+// WaitAny blocks until any of the given events fires, returning the index of
+// the first fired event. If one is already fired, returns immediately.
+func (p *Proc) WaitAny(evs ...*Event) int {
+	for i, ev := range evs {
+		if ev.fired {
+			return i
+		}
+	}
+	if len(evs) == 0 {
+		panic("sim: WaitAny with no events")
+	}
+	for i, ev := range evs {
+		w := p.env.pendingWakeup(p, i)
+		ev.waiters = append(ev.waiters, w)
+	}
+	return p.park()
+}
+
+// AnyOf returns an event that fires as soon as any input event fires.
+func (e *Env) AnyOf(evs ...*Event) *Event {
+	out := e.NewEvent()
+	for _, ev := range evs {
+		if ev.fired {
+			out.Fire()
+			return out
+		}
+	}
+	for _, ev := range evs {
+		ev.onFire(func() { out.Fire() })
+	}
+	return out
+}
+
+// AllOf returns an event that fires once all input events have fired.
+func (e *Env) AllOf(evs ...*Event) *Event {
+	out := e.NewEvent()
+	remaining := 0
+	for _, ev := range evs {
+		if !ev.fired {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		out.Fire()
+		return out
+	}
+	for _, ev := range evs {
+		if ev.fired {
+			continue
+		}
+		ev.onFire(func() {
+			remaining--
+			if remaining == 0 {
+				out.Fire()
+			}
+		})
+	}
+	return out
+}
+
+// callbacks: internal-only observer used by AnyOf/AllOf. Implemented by
+// spawning a tiny waiter process so delivery ordering stays within the
+// kernel's single-runner discipline.
+func (ev *Event) onFire(fn func()) {
+	ev.env.Spawn("event-observer", func(p *Proc) {
+		p.Wait(ev)
+		fn()
+	})
+}
+
+// At schedules fn to run in a fresh process at virtual time t.
+func (e *Env) At(t Time, name string, fn func(p *Proc)) {
+	e.SpawnAt(t, name, fn)
+}
+
+// String renders the env state, for debugging.
+func (e *Env) String() string {
+	return fmt.Sprintf("sim.Env{now=%v scheduled=%d alive=%d}", e.now, e.heap.Len(), e.alive)
+}

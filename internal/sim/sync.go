@@ -1,0 +1,88 @@
+package sim
+
+// Higher-level synchronization built on the kernel primitives: a cyclic
+// Barrier for phase-synchronized workloads (all clients start measuring
+// together), and a Gate — a reusable open/close condition, unlike the
+// one-shot Event.
+
+// Barrier releases waiting processes in batches of n (cyclic: it can be
+// reused round after round).
+type Barrier struct {
+	env     *Env
+	n       int
+	arrived int
+	round   int
+	ev      *Event
+}
+
+// NewBarrier creates a barrier for n parties.
+func NewBarrier(env *Env, n int) *Barrier {
+	if n <= 0 {
+		panic("sim: Barrier needs at least one party")
+	}
+	return &Barrier{env: env, n: n, ev: env.NewEvent()}
+}
+
+// Await blocks until n parties (including this one) have arrived, then all
+// are released together. Returns the completed round number.
+func (b *Barrier) Await(p *Proc) int {
+	b.arrived++
+	round := b.round
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.round++
+		ev := b.ev
+		b.ev = b.env.NewEvent()
+		ev.Fire()
+		return round
+	}
+	ev := b.ev
+	p.Wait(ev)
+	return round
+}
+
+// Waiting reports parties currently blocked at the barrier.
+func (b *Barrier) Waiting() int { return b.arrived }
+
+// Round reports how many rounds have completed.
+func (b *Barrier) Round() int { return b.round }
+
+// Gate is a reusable open/close condition: processes pass through an open
+// gate immediately and queue on a closed one until it opens.
+type Gate struct {
+	env  *Env
+	open bool
+	ev   *Event
+}
+
+// NewGate creates a gate in the given initial state.
+func NewGate(env *Env, open bool) *Gate {
+	return &Gate{env: env, open: open, ev: env.NewEvent()}
+}
+
+// IsOpen reports the gate state.
+func (g *Gate) IsOpen() bool { return g.open }
+
+// Open releases every waiting process and lets future arrivals through.
+func (g *Gate) Open() {
+	if g.open {
+		return
+	}
+	g.open = true
+	ev := g.ev
+	g.ev = g.env.NewEvent()
+	ev.Fire()
+}
+
+// Close makes future arrivals wait. Processes already released stay
+// released.
+func (g *Gate) Close() { g.open = false }
+
+// Pass blocks until the gate is open. A gate observed open lets the process
+// through without suspension.
+func (g *Gate) Pass(p *Proc) {
+	for !g.open {
+		ev := g.ev
+		p.Wait(ev)
+	}
+}

@@ -1,0 +1,145 @@
+package sim
+
+import "testing"
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	e := NewEnv()
+	b := NewBarrier(e, 3)
+	var released []Time
+	for i := 0; i < 3; i++ {
+		d := Time(i+1) * 10 * Microsecond
+		e.Spawn("party", func(p *Proc) {
+			p.Sleep(d)
+			b.Await(p)
+			released = append(released, p.Now())
+		})
+	}
+	e.Run()
+	if len(released) != 3 {
+		t.Fatalf("released %d parties", len(released))
+	}
+	for _, at := range released {
+		if at != 30*Microsecond { // the slowest arrival
+			t.Errorf("party released at %v, want 30µs", at)
+		}
+	}
+}
+
+func TestBarrierCyclic(t *testing.T) {
+	e := NewEnv()
+	b := NewBarrier(e, 2)
+	var rounds []int
+	for i := 0; i < 2; i++ {
+		e.Spawn("party", func(p *Proc) {
+			for r := 0; r < 3; r++ {
+				got := b.Await(p)
+				rounds = append(rounds, got)
+				p.Sleep(Microsecond)
+			}
+		})
+	}
+	e.Run()
+	if b.Round() != 3 {
+		t.Errorf("rounds completed %d, want 3", b.Round())
+	}
+	// Each round number appears exactly twice (once per party).
+	count := map[int]int{}
+	for _, r := range rounds {
+		count[r]++
+	}
+	for r := 0; r < 3; r++ {
+		if count[r] != 2 {
+			t.Errorf("round %d observed %d times, want 2 (%v)", r, count[r], rounds)
+		}
+	}
+}
+
+func TestBarrierWaitingCount(t *testing.T) {
+	e := NewEnv()
+	b := NewBarrier(e, 3)
+	e.Spawn("p1", func(p *Proc) { b.Await(p) })
+	e.Spawn("p2", func(p *Proc) { b.Await(p) })
+	e.Run() // two parked at the barrier
+	if b.Waiting() != 2 {
+		t.Errorf("waiting %d, want 2", b.Waiting())
+	}
+	e.Spawn("p3", func(p *Proc) { b.Await(p) })
+	e.Run()
+	if b.Waiting() != 0 || e.Alive() != 0 {
+		t.Errorf("waiting=%d alive=%d after release", b.Waiting(), e.Alive())
+	}
+}
+
+func TestBarrierZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(NewEnv(), 0)
+}
+
+func TestGateBlocksWhenClosed(t *testing.T) {
+	e := NewEnv()
+	g := NewGate(e, false)
+	var passedAt Time = -1
+	e.Spawn("walker", func(p *Proc) {
+		g.Pass(p)
+		passedAt = p.Now()
+	})
+	e.Spawn("opener", func(p *Proc) {
+		p.Sleep(25 * Microsecond)
+		g.Open()
+	})
+	e.Run()
+	if passedAt != 25*Microsecond {
+		t.Errorf("passed at %v, want 25µs", passedAt)
+	}
+}
+
+func TestGateOpenIsTransparent(t *testing.T) {
+	e := NewEnv()
+	g := NewGate(e, true)
+	var at Time = -1
+	e.Spawn("walker", func(p *Proc) {
+		g.Pass(p)
+		at = p.Now()
+	})
+	e.Run()
+	if at != 0 {
+		t.Errorf("open gate delayed to %v", at)
+	}
+}
+
+func TestGateCloseReblocks(t *testing.T) {
+	e := NewEnv()
+	g := NewGate(e, true)
+	var times []Time
+	e.Spawn("ctrl", func(p *Proc) {
+		g.Close()
+		p.Sleep(50 * Microsecond)
+		g.Open()
+	})
+	e.Spawn("w1", func(p *Proc) {
+		p.Sleep(Microsecond) // arrives after the close
+		g.Pass(p)
+		times = append(times, p.Now())
+	})
+	e.Run()
+	if len(times) != 1 || times[0] != 50*Microsecond {
+		t.Errorf("times %v, want [50µs]", times)
+	}
+	if !g.IsOpen() {
+		t.Errorf("gate not open at end")
+	}
+}
+
+func TestGateDoubleOpenHarmless(t *testing.T) {
+	e := NewEnv()
+	g := NewGate(e, false)
+	g.Open()
+	g.Open()
+	if !g.IsOpen() {
+		t.Errorf("gate closed after double open")
+	}
+}

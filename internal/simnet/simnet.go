@@ -1,0 +1,221 @@
+// Package simnet models a cluster interconnect fabric under the sim kernel.
+//
+// The fabric is a set of named nodes joined by a non-blocking switch with
+// full bisection bandwidth (the topology of SDSC Comet's rack-level fabric,
+// which the paper's experiments fit inside). Each node has one NIC; the
+// endpoint link is the only contended resource. A message transfer costs:
+//
+//	caller CPU   : SendCPU + ceil(size/SegSize)·SegCPU   (blocks the sender)
+//	serialization: size / BytesPerSec                     (occupies the TX link)
+//	propagation  : PropDelay                              (wire + switch)
+//	receiver CPU : RecvCPU                                (delays delivery)
+//
+// Two LinkSpec presets are provided: FDR InfiniBand for native RDMA verbs
+// and IP-over-IB for the kernel TCP/IP path. The verbs package builds both
+// transports on this fabric.
+package simnet
+
+import (
+	"fmt"
+
+	"hybridkv/internal/sim"
+)
+
+// LinkSpec is the first-order cost model of one transport over the fabric.
+type LinkSpec struct {
+	// PropDelay is the one-way wire + switch propagation latency.
+	PropDelay sim.Time
+	// BytesPerSec is the effective link bandwidth for payload bytes.
+	BytesPerSec int64
+	// SendCPU is the fixed caller-side cost to hand a message to the NIC
+	// (doorbell write for RDMA; syscall + socket locking for IPoIB).
+	SendCPU sim.Time
+	// SegSize is the segmentation unit; 0 disables per-segment costs.
+	SegSize int
+	// SegCPU is the caller-side cost per segment (kernel copy + header
+	// build for the TCP path).
+	SegCPU sim.Time
+	// RecvCPU is the receiver-side per-message cost (interrupt + stack
+	// traversal) added before delivery.
+	RecvCPU sim.Time
+}
+
+// FDRInfiniBand models a 56 Gb/s FDR HCA driven by native verbs: ~1.2 µs
+// small-message latency and ~6 GB/s payload bandwidth (PCIe Gen3 limited).
+func FDRInfiniBand() LinkSpec {
+	return LinkSpec{
+		PropDelay:   1200 * sim.Nanosecond,
+		BytesPerSec: 6_000_000_000,
+		SendCPU:     200 * sim.Nanosecond,
+		SegSize:     0,
+		SegCPU:      0,
+		RecvCPU:     150 * sim.Nanosecond,
+	}
+}
+
+// IPoIB models TCP/IP over the same FDR fabric: kernel stack on both sides,
+// 64 KB segmentation, and much lower effective bandwidth (~2 GB/s).
+func IPoIB() LinkSpec {
+	return LinkSpec{
+		PropDelay:   1200 * sim.Nanosecond,
+		BytesPerSec: 2_000_000_000,
+		SendCPU:     8 * sim.Microsecond,
+		SegSize:     64 * 1024,
+		SegCPU:      2 * sim.Microsecond,
+		RecvCPU:     8 * sim.Microsecond,
+	}
+}
+
+// SendCost returns the caller-side CPU cost to hand a size-byte message to
+// the NIC under this spec.
+func (s LinkSpec) SendCost(size int) sim.Time {
+	c := s.SendCPU
+	if s.SegSize > 0 && size > 0 {
+		segs := (size + s.SegSize - 1) / s.SegSize
+		c += sim.Time(segs) * s.SegCPU
+	}
+	return c
+}
+
+// SerializeTime returns how long size bytes occupy the TX link.
+func (s LinkSpec) SerializeTime(size int) sim.Time {
+	if s.BytesPerSec <= 0 || size <= 0 {
+		return 0
+	}
+	return sim.Time(float64(size) / float64(s.BytesPerSec) * float64(sim.Second))
+}
+
+// Message is one fabric transfer. Payload is opaque to the fabric.
+type Message struct {
+	Src, Dst string
+	Size     int
+	Payload  any
+}
+
+// Outgoing tracks the lifecycle of a message handed to the NIC.
+type Outgoing struct {
+	// Sent fires when the message has fully left the sender's NIC — the
+	// source buffer is reusable from this point.
+	Sent *sim.Event
+	// Delivered fires when the receiver has been handed the message.
+	Delivered *sim.Event
+}
+
+// Fabric is the switch plus its attached nodes.
+type Fabric struct {
+	env   *sim.Env
+	spec  LinkSpec
+	nodes map[string]*Node
+
+	// Stats
+	MsgCount  int64
+	ByteCount int64
+}
+
+// New creates a fabric on env with the given default link spec.
+func New(env *sim.Env, spec LinkSpec) *Fabric {
+	return &Fabric{env: env, spec: spec, nodes: make(map[string]*Node)}
+}
+
+// Env returns the simulation environment.
+func (f *Fabric) Env() *sim.Env { return f.env }
+
+// Spec returns the fabric's link spec.
+func (f *Fabric) Spec() LinkSpec { return f.spec }
+
+// Node returns the named node, or nil.
+func (f *Fabric) Node(name string) *Node { return f.nodes[name] }
+
+// AddNode attaches a new node to the fabric. Node names must be unique.
+func (f *Fabric) AddNode(name string) *Node {
+	if _, dup := f.nodes[name]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %q", name))
+	}
+	n := &Node{fabric: f, name: name}
+	n.tx = sim.NewQueue[*outMsg](f.env, 0)
+	f.nodes[name] = n
+	f.env.Spawn("nic-tx:"+name, n.txEngine)
+	return n
+}
+
+type outMsg struct {
+	msg *Message
+	out *Outgoing
+}
+
+// Node is one host with a single NIC attached to the fabric.
+type Node struct {
+	fabric   *Fabric
+	name     string
+	tx       *sim.Queue[*outMsg]
+	receiver func(m *Message)
+
+	// Stats
+	TxBytes, RxBytes int64
+	TxMsgs, RxMsgs   int64
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Fabric returns the owning fabric.
+func (n *Node) Fabric() *Fabric { return n.fabric }
+
+// SetReceiver installs the delivery callback. It runs in a fresh process at
+// delivery time and must not block for long (spawn work elsewhere).
+func (n *Node) SetReceiver(fn func(m *Message)) { n.receiver = fn }
+
+// txEngine drains the NIC transmit queue, charging serialization time per
+// message and scheduling remote delivery.
+func (n *Node) txEngine(p *sim.Proc) {
+	f := n.fabric
+	for {
+		om, ok := n.tx.Get(p)
+		if !ok {
+			return
+		}
+		p.Sleep(f.spec.SerializeTime(om.msg.Size))
+		om.out.Sent.Fire()
+		n.TxBytes += int64(om.msg.Size)
+		n.TxMsgs++
+		f.MsgCount++
+		f.ByteCount += int64(om.msg.Size)
+		dst := f.nodes[om.msg.Dst]
+		if dst == nil {
+			panic(fmt.Sprintf("simnet: send to unknown node %q", om.msg.Dst))
+		}
+		deliverAt := p.Now() + f.spec.PropDelay + f.spec.RecvCPU
+		msg, out := om.msg, om.out
+		f.env.SpawnAt(deliverAt, "deliver:"+dst.name, func(dp *sim.Proc) {
+			dst.RxBytes += int64(msg.Size)
+			dst.RxMsgs++
+			out.Delivered.Fire()
+			if dst.receiver != nil {
+				dst.receiver(msg)
+			}
+		})
+	}
+}
+
+// Post hands a message to the NIC without charging caller CPU time (the
+// caller models its own cost, e.g. the verbs layer charging doorbell cost).
+func (n *Node) Post(dst string, size int, payload any) *Outgoing {
+	out := &Outgoing{Sent: n.fabric.env.NewEvent(), Delivered: n.fabric.env.NewEvent()}
+	m := &Message{Src: n.name, Dst: dst, Size: size, Payload: payload}
+	n.tx.TryPut(&outMsg{msg: m, out: out}) // unbounded queue: always succeeds
+	return out
+}
+
+// Send charges the caller the host-side CPU cost, then posts the message.
+func (n *Node) Send(p *sim.Proc, dst string, size int, payload any) *Outgoing {
+	p.Sleep(n.fabric.spec.SendCost(size))
+	return n.Post(dst, size, payload)
+}
+
+// SendWait is Send followed by blocking until the message has fully left
+// the NIC (kernel-copy semantics: buffer reusable on return).
+func (n *Node) SendWait(p *sim.Proc, dst string, size int, payload any) *Outgoing {
+	out := n.Send(p, dst, size, payload)
+	p.Wait(out.Sent)
+	return out
+}

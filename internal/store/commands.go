@@ -1,0 +1,215 @@
+package store
+
+import (
+	"sort"
+
+	"hybridkv/internal/hybridslab"
+	"hybridkv/internal/protocol"
+	"hybridkv/internal/sim"
+)
+
+// This file implements the rest of the memcached command set on top of the
+// hybrid slab manager: conditional stores (add/replace/cas), value
+// concatenation (append/prepend), counter arithmetic (incr/decr) and
+// expiry updates (touch). The paper's non-blocking extensions target
+// Set/Get; these commands complete the server so real libmemcached
+// applications map onto it.
+
+// lookup returns the live item for key, lazily expiring it.
+func (s *Store) lookup(p *sim.Proc, key string) *hybridslab.Item {
+	it := s.table[key]
+	if it == nil {
+		return nil
+	}
+	if it.ExpireAt != 0 && s.env.Now() >= it.ExpireAt {
+		s.mgr.Release(it)
+		delete(s.table, key)
+		s.Expired++
+		return nil
+	}
+	return it
+}
+
+// Add stores the value only if the key does not already exist.
+func (s *Store) Add(p *sim.Proc, key string, valueSize int, value any, flags, expire uint32) protocol.Status {
+	p.Sleep(hashCost)
+	if s.lookup(p, key) != nil {
+		return protocol.StatusNotStored
+	}
+	return s.Set(p, key, valueSize, value, flags, expire)
+}
+
+// Replace stores the value only if the key already exists.
+func (s *Store) Replace(p *sim.Proc, key string, valueSize int, value any, flags, expire uint32) protocol.Status {
+	p.Sleep(hashCost)
+	if s.lookup(p, key) == nil {
+		return protocol.StatusNotStored
+	}
+	return s.Set(p, key, valueSize, value, flags, expire)
+}
+
+// CompareAndSet stores the value only if the caller's CAS token matches the
+// item's current token (memcached cas command).
+func (s *Store) CompareAndSet(p *sim.Proc, key string, valueSize int, value any, flags, expire uint32, cas uint64) protocol.Status {
+	p.Sleep(hashCost)
+	it := s.lookup(p, key)
+	if it == nil {
+		return protocol.StatusNotFound
+	}
+	if it.CAS != cas {
+		return protocol.StatusExists
+	}
+	return s.Set(p, key, valueSize, value, flags, expire)
+}
+
+// Concatenated represents an append/prepend result: the surviving value is
+// the ordered pair of payload tokens (the simulation moves tokens, not
+// bytes; sizes are accounted exactly).
+type Concatenated struct {
+	First, Second any
+}
+
+// concat builds the combined payload and size for append/prepend.
+func concat(prepend bool, old any, oldSize int, extra any, extraSize int) (any, int) {
+	if prepend {
+		return Concatenated{First: extra, Second: old}, oldSize + extraSize
+	}
+	return Concatenated{First: old, Second: extra}, oldSize + extraSize
+}
+
+// Append concatenates extra bytes after the existing value.
+func (s *Store) Append(p *sim.Proc, key string, extraSize int, extra any) protocol.Status {
+	return s.concatCmd(p, key, extraSize, extra, false)
+}
+
+// Prepend concatenates extra bytes before the existing value.
+func (s *Store) Prepend(p *sim.Proc, key string, extraSize int, extra any) protocol.Status {
+	return s.concatCmd(p, key, extraSize, extra, true)
+}
+
+func (s *Store) concatCmd(p *sim.Proc, key string, extraSize int, extra any, prepend bool) protocol.Status {
+	p.Sleep(hashCost)
+	it := s.lookup(p, key)
+	if it == nil {
+		return protocol.StatusNotStored
+	}
+	// Load the current value (may reside on SSD), then store the
+	// combined item through the regular slab path so it is re-classed by
+	// its new size.
+	old, err := s.mgr.Load(p, it)
+	if err != nil {
+		delete(s.table, key)
+		return protocol.StatusNotStored
+	}
+	newValue, newSize := concat(prepend, old, it.ValueSize, extra, extraSize)
+	flags := it.Flags
+	var expire uint32
+	if it.ExpireAt != 0 {
+		remaining := it.ExpireAt - s.env.Now()
+		if remaining > 0 {
+			expire = uint32(remaining / sim.Second)
+			if expire == 0 {
+				expire = 1
+			}
+		}
+	}
+	return s.Set(p, key, newSize, newValue, flags, expire)
+}
+
+// counterSize is the stored size of a numeric counter (decimal ASCII in
+// real memcached; fixed 20 bytes covers uint64).
+const counterSize = 20
+
+// Incr adds delta to a counter value; the value must have been stored as a
+// uint64 (Counter helper). Returns the new value.
+func (s *Store) Incr(p *sim.Proc, key string, delta uint64) (uint64, protocol.Status) {
+	return s.arith(p, key, delta, false)
+}
+
+// Decr subtracts delta from a counter, flooring at zero as memcached does.
+func (s *Store) Decr(p *sim.Proc, key string, delta uint64) (uint64, protocol.Status) {
+	return s.arith(p, key, delta, true)
+}
+
+func (s *Store) arith(p *sim.Proc, key string, delta uint64, dec bool) (uint64, protocol.Status) {
+	p.Sleep(hashCost)
+	it := s.lookup(p, key)
+	if it == nil {
+		return 0, protocol.StatusNotFound
+	}
+	v, err := s.mgr.Load(p, it)
+	if err != nil {
+		delete(s.table, key)
+		return 0, protocol.StatusNotFound
+	}
+	cur, ok := v.(uint64)
+	if !ok {
+		return 0, protocol.StatusBadValue
+	}
+	var next uint64
+	if dec {
+		if delta > cur {
+			next = 0
+		} else {
+			next = cur - delta
+		}
+	} else {
+		next = cur + delta
+	}
+	if it.OnSSD() {
+		// The authoritative copy lives in the SSD extent; rewrite through
+		// the regular store path so the new value lands somewhere live.
+		if st := s.Set(p, key, counterSize, next, it.Flags, 0); st != protocol.StatusStored {
+			return 0, st
+		}
+		return next, protocol.StatusOK
+	}
+	// RAM-resident counters mutate in place: same class, no reallocation.
+	p.Sleep(updateCost)
+	it.Value = next
+	s.cas++
+	it.CAS = s.cas
+	s.mgr.Touch(it)
+	return next, protocol.StatusOK
+}
+
+// FlushAll invalidates every item (the memcached flush_all command),
+// releasing all slab and SSD space. The sweep cost is proportional to the
+// item count.
+func (s *Store) FlushAll(p *sim.Proc) protocol.Status {
+	n := len(s.table)
+	if n > 0 {
+		p.Sleep(sim.Time(n) * crawlItemCost)
+	}
+	// Release in sorted key order: map iteration order is random per run
+	// and the SSD free-pool state is order-sensitive, which would break
+	// the simulation's determinism guarantee.
+	keys := make([]string, 0, n)
+	for key := range s.table {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		s.mgr.Release(s.table[key])
+		delete(s.table, key)
+	}
+	s.Flushes++
+	return protocol.StatusOK
+}
+
+// Touch updates the expiration time without fetching the value.
+func (s *Store) Touch(p *sim.Proc, key string, expire uint32) protocol.Status {
+	p.Sleep(hashCost)
+	it := s.lookup(p, key)
+	if it == nil {
+		return protocol.StatusNotFound
+	}
+	p.Sleep(updateCost)
+	if expire > 0 {
+		it.ExpireAt = s.env.Now() + sim.Time(expire)*sim.Second
+	} else {
+		it.ExpireAt = 0
+	}
+	s.mgr.Touch(it)
+	return protocol.StatusOK
+}

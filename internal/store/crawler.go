@@ -1,0 +1,75 @@
+package store
+
+import (
+	"hybridkv/internal/hybridslab"
+	"hybridkv/internal/sim"
+)
+
+// This file implements memcached's LRU crawler: a background process that
+// walks the recency lists reclaiming expired items, so memory is returned
+// even for keys that are never touched again (lazy expiration alone only
+// reclaims on access).
+
+// crawlItemCost is the CPU cost to examine one item during a crawl pass.
+const crawlItemCost = 100 * sim.Nanosecond
+
+// StartCrawler launches the LRU crawler: every interval it examines up to
+// batch items per recency list and reclaims the expired ones. Call
+// StopCrawler to terminate it (the simulation's Run drains only after all
+// periodic processes stop).
+func (s *Store) StartCrawler(interval sim.Time, batch int) {
+	if s.crawlerStop != nil {
+		panic("store: crawler already running")
+	}
+	if interval <= 0 {
+		interval = sim.Second
+	}
+	if batch <= 0 {
+		batch = 100
+	}
+	s.crawlerStop = s.env.NewEvent()
+	stop := s.crawlerStop
+	s.env.Spawn("lru-crawler", func(p *sim.Proc) {
+		for {
+			if p.WaitTimeout(stop, interval) {
+				return // stopped
+			}
+			s.crawlOnce(p, batch)
+		}
+	})
+}
+
+// StopCrawler terminates the crawler after its current pass.
+func (s *Store) StopCrawler() {
+	if s.crawlerStop == nil {
+		return
+	}
+	s.crawlerStop.Fire()
+	s.crawlerStop = nil
+}
+
+// crawlOnce performs one crawl pass.
+func (s *Store) crawlOnce(p *sim.Proc, batch int) {
+	now := s.env.Now()
+	var expired []*hybridslab.Item
+	scanned := 0
+	s.mgr.VisitLRU(batch, func(it *hybridslab.Item) bool {
+		scanned++
+		if it.ExpireAt != 0 && now >= it.ExpireAt {
+			expired = append(expired, it)
+		}
+		return true
+	})
+	if scanned > 0 {
+		p.Sleep(sim.Time(scanned) * crawlItemCost)
+	}
+	for _, it := range expired {
+		if it.Dropped() {
+			continue
+		}
+		s.mgr.Release(it)
+		delete(s.table, it.Key)
+		s.Expired++
+		s.CrawlerReclaimed++
+	}
+}

@@ -1,0 +1,114 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"hybridkv/internal/sim"
+)
+
+func TestCrawlerReclaimsExpiredItems(t *testing.T) {
+	env := sim.NewEnv()
+	s := newStore(env, 16<<20, false)
+	env.Spawn("load", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			s.Set(p, fmt.Sprintf("ttl%02d", i), 1024, i, 0, 1) // 1s TTL
+		}
+		for i := 0; i < 50; i++ {
+			s.Set(p, fmt.Sprintf("forever%02d", i), 1024, i, 0, 0)
+		}
+	})
+	s.StartCrawler(500*sim.Millisecond, 1000)
+	env.Spawn("stopper", func(p *sim.Proc) {
+		p.Sleep(3 * sim.Second)
+		s.StopCrawler()
+	})
+	env.Run()
+	if s.CrawlerReclaimed != 50 {
+		t.Errorf("crawler reclaimed %d items, want 50", s.CrawlerReclaimed)
+	}
+	if s.Len() != 50 {
+		t.Errorf("%d keys remain, want the 50 unexpiring ones", s.Len())
+	}
+	// Memory actually returned, not just table entries.
+	if got := s.Manager().RAMItems(); got != 50 {
+		t.Errorf("%d RAM items remain, want 50", got)
+	}
+}
+
+func TestCrawlerLeavesFreshItemsAlone(t *testing.T) {
+	env := sim.NewEnv()
+	s := newStore(env, 16<<20, false)
+	env.Spawn("load", func(p *sim.Proc) {
+		for i := 0; i < 30; i++ {
+			s.Set(p, fmt.Sprintf("k%02d", i), 1024, i, 0, 3600)
+		}
+	})
+	s.StartCrawler(100*sim.Millisecond, 1000)
+	env.Spawn("stopper", func(p *sim.Proc) {
+		p.Sleep(2 * sim.Second)
+		s.StopCrawler()
+	})
+	env.Run()
+	if s.CrawlerReclaimed != 0 {
+		t.Errorf("crawler reclaimed %d fresh items", s.CrawlerReclaimed)
+	}
+	if s.Len() != 30 {
+		t.Errorf("keys %d, want 30", s.Len())
+	}
+}
+
+func TestCrawlerStopTerminatesRun(t *testing.T) {
+	env := sim.NewEnv()
+	s := newStore(env, 16<<20, false)
+	s.StartCrawler(sim.Second, 10)
+	env.Spawn("stopper", func(p *sim.Proc) {
+		p.Sleep(2500 * sim.Millisecond)
+		s.StopCrawler()
+	})
+	end := env.Run() // must terminate: no periodic wakeups after stop
+	if end < 2500*sim.Millisecond || end > 4*sim.Second {
+		t.Errorf("run ended at %v, want shortly after the stop", end)
+	}
+	// Restarting after stop is allowed.
+	s.StartCrawler(sim.Second, 10)
+	s.StopCrawler()
+	env.Run()
+}
+
+func TestDoubleStartCrawlerPanics(t *testing.T) {
+	env := sim.NewEnv()
+	s := newStore(env, 16<<20, false)
+	s.StartCrawler(sim.Second, 10)
+	defer func() {
+		recover()
+		s.StopCrawler()
+	}()
+	s.StartCrawler(sim.Second, 10)
+	t.Errorf("double StartCrawler did not panic")
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	env := sim.NewEnv()
+	s := newStore(env, 4<<20, true)
+	env.Spawn("load", func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			s.Set(p, fmt.Sprintf("k%03d", i), 32*1024, i, 0, 0)
+		}
+		s.Get(p, "k000")
+		s.Get(p, "nope")
+		s.Delete(p, "k199")
+	})
+	env.Run()
+	st := s.Stats()
+	if st.Items != 199 || st.SetOps != 200 || st.GetOps != 2 ||
+		st.GetHits != 1 || st.GetMisses != 1 || st.DeleteOps != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.RAMItems+st.SSDItems != st.Items {
+		t.Errorf("placement mismatch: %d + %d != %d", st.RAMItems, st.SSDItems, st.Items)
+	}
+	if st.FlushPages == 0 || st.SSDUsed == 0 || st.SlabMemUsed == 0 {
+		t.Errorf("hybrid stats empty: %+v", st)
+	}
+}

@@ -1,0 +1,153 @@
+// Package trace records per-operation events during a simulation run and
+// exports them for offline analysis (CSV or JSON lines): per-op latency
+// scatter, windowed throughput timelines, warmup visualization — the raw
+// material behind the figures rather than the aggregates.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"hybridkv/internal/sim"
+)
+
+// Op is one recorded operation.
+type Op struct {
+	// Seq is the record's index in arrival order.
+	Seq int64 `json:"seq"`
+	// Client identifies the issuing client.
+	Client int `json:"client"`
+	// Kind is the operation kind ("set", "get", ...).
+	Kind string `json:"kind"`
+	// Key is the operation's key (may be truncated by the recorder).
+	Key string `json:"key"`
+	// Issued and Completed are virtual timestamps.
+	Issued    sim.Time `json:"issued_ns"`
+	Completed sim.Time `json:"completed_ns"`
+	// Status is the textual outcome ("STORED", "OK", "NOT_FOUND", ...).
+	Status string `json:"status"`
+	// Bytes is the value size moved.
+	Bytes int `json:"bytes"`
+}
+
+// Latency returns the op's completion latency.
+func (o Op) Latency() sim.Time { return o.Completed - o.Issued }
+
+// Recorder accumulates operation records up to a bound.
+type Recorder struct {
+	ops     []Op
+	limit   int
+	dropped int64
+	seq     int64
+}
+
+// New creates a recorder holding at most limit records (0 = 1<<20).
+func New(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Recorder{limit: limit}
+}
+
+// Add appends one record, assigning its sequence number. Records beyond the
+// bound are counted as dropped rather than grown without limit.
+func (r *Recorder) Add(op Op) {
+	op.Seq = r.seq
+	r.seq++
+	if len(r.ops) >= r.limit {
+		r.dropped++
+		return
+	}
+	r.ops = append(r.ops, op)
+}
+
+// Len returns the number of retained records.
+func (r *Recorder) Len() int { return len(r.ops) }
+
+// Dropped returns how many records exceeded the bound.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Ops returns the retained records in arrival order.
+func (r *Recorder) Ops() []Op { return r.ops }
+
+// WriteCSV emits the records as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seq", "client", "kind", "key", "issued_ns", "completed_ns", "latency_ns", "status", "bytes"}); err != nil {
+		return err
+	}
+	for _, op := range r.ops {
+		rec := []string{
+			strconv.FormatInt(op.Seq, 10),
+			strconv.Itoa(op.Client),
+			op.Kind,
+			op.Key,
+			strconv.FormatInt(int64(op.Issued), 10),
+			strconv.FormatInt(int64(op.Completed), 10),
+			strconv.FormatInt(int64(op.Latency()), 10),
+			op.Status,
+			strconv.Itoa(op.Bytes),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSONL emits the records as JSON lines.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, op := range r.ops {
+		if err := enc.Encode(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Timeline buckets completions into windows of the given width and returns
+// ops/second per window, from time zero through the last completion.
+func (r *Recorder) Timeline(window sim.Time) []float64 {
+	if window <= 0 || len(r.ops) == 0 {
+		return nil
+	}
+	var last sim.Time
+	for _, op := range r.ops {
+		if op.Completed > last {
+			last = op.Completed
+		}
+	}
+	n := int(last/window) + 1
+	counts := make([]float64, n)
+	for _, op := range r.ops {
+		counts[int(op.Completed/window)]++
+	}
+	perSec := float64(sim.Second) / float64(window)
+	for i := range counts {
+		counts[i] *= perSec
+	}
+	return counts
+}
+
+// Summary renders a one-line digest.
+func (r *Recorder) Summary() string {
+	if len(r.ops) == 0 {
+		return "trace: empty"
+	}
+	var total sim.Time
+	var max sim.Time
+	for _, op := range r.ops {
+		l := op.Latency()
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	return fmt.Sprintf("trace: %d ops (%d dropped), mean=%v max=%v",
+		len(r.ops), r.dropped, total/sim.Time(len(r.ops)), max)
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hybridkv/internal/sim"
+)
+
+func mk(n int) *Recorder {
+	r := New(0)
+	for i := 0; i < n; i++ {
+		r.Add(Op{
+			Client: i % 4, Kind: "get", Key: "k",
+			Issued:    sim.Time(i) * sim.Microsecond,
+			Completed: sim.Time(i)*sim.Microsecond + 10*sim.Microsecond,
+			Status:    "OK", Bytes: 1024,
+		})
+	}
+	return r
+}
+
+func TestSequenceAndLatency(t *testing.T) {
+	r := mk(5)
+	ops := r.Ops()
+	for i, op := range ops {
+		if op.Seq != int64(i) {
+			t.Errorf("seq %d, want %d", op.Seq, i)
+		}
+		if op.Latency() != 10*sim.Microsecond {
+			t.Errorf("latency %v", op.Latency())
+		}
+	}
+}
+
+func TestBoundedRecorderDrops(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10; i++ {
+		r.Add(Op{})
+	}
+	if r.Len() != 3 || r.Dropped() != 7 {
+		t.Errorf("len=%d dropped=%d, want 3/7", r.Len(), r.Dropped())
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	r := mk(3)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d CSV lines, want header+3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "seq,client,kind,key,issued_ns") {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "10000") { // 10µs latency in ns
+		t.Errorf("row %q missing latency", lines[1])
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	r := mk(2)
+	var sb strings.Builder
+	if err := r.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d JSONL lines", len(lines))
+	}
+	var op Op
+	if err := json.Unmarshal([]byte(lines[1]), &op); err != nil {
+		t.Fatal(err)
+	}
+	if op.Seq != 1 || op.Status != "OK" || op.Bytes != 1024 {
+		t.Errorf("decoded %+v", op)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	r := New(0)
+	// 4 completions in the first millisecond, 2 in the third.
+	for _, at := range []sim.Time{100, 200, 300, 400, 2100, 2900} {
+		r.Add(Op{Completed: at * sim.Microsecond})
+	}
+	tl := r.Timeline(sim.Millisecond)
+	if len(tl) != 3 {
+		t.Fatalf("timeline has %d buckets, want 3", len(tl))
+	}
+	if tl[0] != 4000 || tl[1] != 0 || tl[2] != 2000 {
+		t.Errorf("timeline %v, want [4000 0 2000] ops/s", tl)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	if tl := New(0).Timeline(sim.Millisecond); tl != nil {
+		t.Errorf("empty timeline %v", tl)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	if !strings.Contains(New(0).Summary(), "empty") {
+		t.Errorf("empty summary")
+	}
+	s := mk(4).Summary()
+	if !strings.Contains(s, "4 ops") || !strings.Contains(s, "mean=10µs") {
+		t.Errorf("summary %q", s)
+	}
+}

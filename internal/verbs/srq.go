@@ -1,0 +1,160 @@
+package verbs
+
+import (
+	"fmt"
+
+	"hybridkv/internal/sim"
+)
+
+// SRQ is a shared receive queue: many QPs draw receive WRs from one pool,
+// the standard way an RDMA Memcached server scales its receive buffers
+// with hundreds of client connections (per-QP pools waste memory as
+// depth × connections).
+type SRQ struct {
+	dev   *Device
+	recvQ []RecvWR
+
+	// Posted counts lifetime posted WRs; Consumed counts deliveries.
+	Posted   int64
+	Consumed int64
+}
+
+// CreateSRQ allocates a shared receive queue.
+func (d *Device) CreateSRQ() *SRQ {
+	return &SRQ{dev: d}
+}
+
+// PostRecv adds a receive WR to the shared pool.
+func (s *SRQ) PostRecv(wr RecvWR) {
+	s.recvQ = append(s.recvQ, wr)
+	s.Posted++
+}
+
+// Depth reports outstanding shared receive WRs.
+func (s *SRQ) Depth() int { return len(s.recvQ) }
+
+func (s *SRQ) pop() (RecvWR, bool) {
+	if len(s.recvQ) == 0 {
+		return RecvWR{}, false
+	}
+	wr := s.recvQ[0]
+	s.recvQ = s.recvQ[1:]
+	s.Consumed++
+	return wr, true
+}
+
+// AttachSRQ binds the QP's receive side to a shared receive queue; SENDs
+// and WRITE_IMMs arriving on this QP consume WRs from the SRQ instead of
+// the per-QP pool.
+func (qp *QP) AttachSRQ(s *SRQ) {
+	if s != nil && s.dev != qp.dev {
+		panic("verbs: SRQ and QP belong to different devices")
+	}
+	qp.srq = s
+}
+
+// consumeRecv takes the next receive WR from the SRQ when attached, else
+// from the per-QP queue.
+func (qp *QP) consumeRecv() (RecvWR, bool) {
+	if qp.srq != nil {
+		return qp.srq.pop()
+	}
+	if len(qp.recvQ) == 0 {
+		return RecvWR{}, false
+	}
+	wr := qp.recvQ[0]
+	qp.recvQ = qp.recvQ[1:]
+	return wr, true
+}
+
+// --- One-sided atomics ---
+//
+// RC QPs support 64-bit remote atomics executed by the responder's HCA
+// with no remote CPU involvement. The simulated MR carries an atomic
+// qword per region (the common usage: a counter or sequence lock at a
+// known offset).
+
+// AtomicQword returns the MR's current atomic value.
+func (mr *MR) AtomicQword() uint64 { return mr.atomic }
+
+// SetAtomicQword initializes the MR's atomic value (setup side).
+func (mr *MR) SetAtomicQword(v uint64) { mr.atomic = v }
+
+// atomicWR describes an in-flight atomic operation.
+type atomicWire struct {
+	srcQPN  int
+	dstQPN  int
+	wrid    uint64
+	remote  int
+	add     uint64
+	compare uint64
+	swap    uint64
+	isCAS   bool
+	// response
+	isResp bool
+	old    uint64
+}
+
+// atomicReqBytes is the wire size of an atomic request/response packet.
+const atomicReqBytes = 28
+
+// FetchAdd posts a one-sided atomic fetch-and-add on the remote MR's
+// qword. The completion on the send CQ carries the value before the add
+// in its Payload (as uint64).
+func (qp *QP) FetchAdd(p *sim.Proc, wrid uint64, remoteMR int, add uint64) {
+	qp.postAtomic(p, &atomicWire{
+		srcQPN: qp.qpn, dstQPN: qp.remoteQPN, wrid: wrid,
+		remote: remoteMR, add: add,
+	})
+}
+
+// CompareSwap posts a one-sided atomic compare-and-swap: the remote qword
+// becomes swap iff it equals compare. The completion payload carries the
+// observed prior value.
+func (qp *QP) CompareSwap(p *sim.Proc, wrid uint64, remoteMR int, compare, swap uint64) {
+	qp.postAtomic(p, &atomicWire{
+		srcQPN: qp.qpn, dstQPN: qp.remoteQPN, wrid: wrid,
+		remote: remoteMR, compare: compare, swap: swap, isCAS: true,
+	})
+}
+
+func (qp *QP) postAtomic(p *sim.Proc, w *atomicWire) {
+	if !qp.connected {
+		panic("verbs: atomic on unconnected QP")
+	}
+	p.Sleep(doorbellCost)
+	qp.dev.AtomicsPosted++
+	qp.dev.node.Post(qp.remoteNode, atomicReqBytes, w)
+}
+
+// deliverAtomic executes an atomic at the responder or completes one at
+// the requester.
+func (d *Device) deliverAtomic(src string, w *atomicWire) {
+	qp := d.qps[w.dstQPN]
+	if qp == nil {
+		panic(fmt.Sprintf("verbs: atomic for unknown QP %d on %s", w.dstQPN, d.node.Name()))
+	}
+	if w.isResp {
+		qp.sendCQ.push(Completion{
+			WRID: w.wrid, Op: OpAtomic, QPN: qp.qpn,
+			Bytes: 8, Payload: w.old,
+		})
+		return
+	}
+	mr := d.mrs[w.remote]
+	if mr == nil || !mr.valid {
+		panic(fmt.Sprintf("verbs: atomic on invalid MR %d on %s", w.remote, d.node.Name()))
+	}
+	old := mr.atomic
+	if w.isCAS {
+		if mr.atomic == w.compare {
+			mr.atomic = w.swap
+		}
+	} else {
+		mr.atomic += w.add
+	}
+	// The responder HCA serializes the 8-byte result back; no remote CPU.
+	d.node.Post(src, atomicReqBytes, &atomicWire{
+		dstQPN: w.srcQPN, wrid: w.wrid, old: old, isResp: true,
+	})
+}

@@ -1,0 +1,167 @@
+package verbs
+
+import (
+	"testing"
+
+	"hybridkv/internal/sim"
+	"hybridkv/internal/simnet"
+)
+
+// srqRig wires two client QPs into one server device sharing an SRQ.
+type srqRig struct {
+	env          *sim.Env
+	server       *Device
+	srq          *SRQ
+	serverRecvCQ *CQ
+	clients      [2]*QP
+}
+
+func newSRQRig() *srqRig {
+	env := sim.NewEnv()
+	f := simnet.New(env, simnet.FDRInfiniBand())
+	r := &srqRig{env: env}
+	r.server = OpenDevice(f.AddNode("server"))
+	r.serverRecvCQ = r.server.CreateCQ(0)
+	sendCQ := r.server.CreateCQ(0)
+	r.srq = r.server.CreateSRQ()
+	for i := 0; i < 2; i++ {
+		cdev := OpenDevice(f.AddNode([]string{"c0", "c1"}[i]))
+		cq1, cq2 := cdev.CreateCQ(0), cdev.CreateCQ(0)
+		cqp := cdev.CreateQP(cq1, cq2)
+		sqp := r.server.CreateQP(sendCQ, r.serverRecvCQ)
+		sqp.AttachSRQ(r.srq)
+		Connect(cqp, sqp)
+		r.clients[i] = cqp
+	}
+	return r
+}
+
+func TestSRQSharedAcrossQPs(t *testing.T) {
+	r := newSRQRig()
+	for i := 0; i < 8; i++ {
+		r.srq.PostRecv(RecvWR{WRID: uint64(i)})
+	}
+	var got []any
+	r.env.Spawn("server", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			c := r.serverRecvCQ.WaitPoll(p)
+			got = append(got, c.Payload)
+		}
+	})
+	r.env.Spawn("c0", func(p *sim.Proc) {
+		r.clients[0].PostSend(p, SendWR{Op: OpSend, Size: 64, Payload: "a"})
+		r.clients[0].PostSend(p, SendWR{Op: OpSend, Size: 64, Payload: "b"})
+	})
+	r.env.Spawn("c1", func(p *sim.Proc) {
+		r.clients[1].PostSend(p, SendWR{Op: OpSend, Size: 64, Payload: "x"})
+		r.clients[1].PostSend(p, SendWR{Op: OpSend, Size: 64, Payload: "y"})
+	})
+	r.env.Run()
+	if len(got) != 4 {
+		t.Fatalf("received %d messages via SRQ", len(got))
+	}
+	if r.srq.Depth() != 4 || r.srq.Consumed != 4 || r.srq.Posted != 8 {
+		t.Errorf("SRQ accounting depth=%d consumed=%d posted=%d", r.srq.Depth(), r.srq.Consumed, r.srq.Posted)
+	}
+}
+
+func TestSRQExhaustionPanics(t *testing.T) {
+	r := newSRQRig()
+	r.srq.PostRecv(RecvWR{})
+	defer func() {
+		if recover() == nil {
+			t.Errorf("SEND beyond SRQ depth did not panic (RNR)")
+		}
+	}()
+	r.env.Spawn("c0", func(p *sim.Proc) {
+		r.clients[0].PostSend(p, SendWR{Op: OpSend, Size: 64})
+		r.clients[0].PostSend(p, SendWR{Op: OpSend, Size: 64})
+	})
+	r.env.Run()
+}
+
+func TestAttachForeignSRQPanics(t *testing.T) {
+	r := newSRQRig()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("cross-device SRQ attach did not panic")
+		}
+	}()
+	r.clients[0].AttachSRQ(r.srq) // clients[0] belongs to another device
+}
+
+func TestFetchAddAtomic(t *testing.T) {
+	r := newRig()
+	mr := r.pdB.RegisterMRSetup(4096)
+	mr.SetAtomicQword(100)
+	var olds []uint64
+	r.env.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			r.qpA.FetchAdd(p, uint64(i), mr.LKey(), 7)
+			c := r.sendA.WaitPoll(p)
+			if c.Op != OpAtomic {
+				t.Errorf("completion op %v", c.Op)
+			}
+			olds = append(olds, c.Payload.(uint64))
+		}
+	})
+	r.env.Run()
+	want := []uint64{100, 107, 114}
+	for i, v := range olds {
+		if v != want[i] {
+			t.Errorf("fetch-add %d returned %d, want %d", i, v, want[i])
+		}
+	}
+	if mr.AtomicQword() != 121 {
+		t.Errorf("final atomic %d, want 121", mr.AtomicQword())
+	}
+}
+
+func TestCompareSwapAtomic(t *testing.T) {
+	r := newRig()
+	mr := r.pdB.RegisterMRSetup(4096)
+	mr.SetAtomicQword(5)
+	var first, second uint64
+	r.env.Spawn("client", func(p *sim.Proc) {
+		// Succeeds: 5 -> 9.
+		r.qpA.CompareSwap(p, 1, mr.LKey(), 5, 9)
+		first = r.sendA.WaitPoll(p).Payload.(uint64)
+		// Fails: expects 5, finds 9.
+		r.qpA.CompareSwap(p, 2, mr.LKey(), 5, 77)
+		second = r.sendA.WaitPoll(p).Payload.(uint64)
+	})
+	r.env.Run()
+	if first != 5 || second != 9 {
+		t.Errorf("CAS observed (%d,%d), want (5,9)", first, second)
+	}
+	if mr.AtomicQword() != 9 {
+		t.Errorf("final atomic %d, want 9 (second CAS must fail)", mr.AtomicQword())
+	}
+}
+
+func TestAtomicContendersSerialize(t *testing.T) {
+	// Two requesters fetch-add concurrently; the responder HCA serializes,
+	// so no increment is lost.
+	env := sim.NewEnv()
+	f := simnet.New(env, simnet.FDRInfiniBand())
+	sdev := OpenDevice(f.AddNode("s"))
+	spd := sdev.AllocPD()
+	mr := spd.RegisterMRSetup(4096)
+	for i := 0; i < 2; i++ {
+		cdev := OpenDevice(f.AddNode([]string{"a", "b"}[i]))
+		cq1, cq2 := cdev.CreateCQ(0), cdev.CreateCQ(0)
+		cqp := cdev.CreateQP(cq1, cq2)
+		sqp := sdev.CreateQP(sdev.CreateCQ(0), sdev.CreateCQ(0))
+		Connect(cqp, sqp)
+		env.Spawn("adder", func(p *sim.Proc) {
+			for j := 0; j < 50; j++ {
+				cqp.FetchAdd(p, uint64(j), mr.LKey(), 1)
+				cq1.WaitPoll(p)
+			}
+		})
+	}
+	env.Run()
+	if mr.AtomicQword() != 100 {
+		t.Errorf("atomic counter %d after 100 concurrent adds, want 100", mr.AtomicQword())
+	}
+}

@@ -1,0 +1,474 @@
+// Package verbs provides an ibverbs-shaped RDMA interface over the simnet
+// fabric, plus an IP-over-IB stream emulation for the default Memcached
+// path.
+//
+// The client and server runtimes in this repository are written against this
+// API the same way RDMA-Memcached is written against libibverbs: protection
+// domains, registered memory regions (with realistic registration cost),
+// reliable-connected queue pairs, completion queues that are polled, two-sided
+// SEND/RECV and one-sided RDMA WRITE / WRITE-with-immediate / READ. Only the
+// wire underneath is simulated.
+//
+// Semantics modeled:
+//
+//   - SEND consumes a pre-posted RECV at the responder and generates a
+//     completion on the responder's receive CQ. The requester's send
+//     completion fires when the RC ACK returns (serialization + 2×prop),
+//     at which point the source buffer is reusable. Inline sends copy at
+//     post time, so the buffer is reusable immediately.
+//   - RDMA WRITE deposits the payload into the remote MR with no remote CPU
+//     involvement and no remote completion. WRITE_IMM additionally consumes
+//     a RECV and completes on the responder's receive CQ.
+//   - RDMA READ fetches the remote MR's current contents with no remote CPU
+//     involvement; the local completion carries the data.
+//   - Posting any WR charges the caller a doorbell cost; the NIC performs
+//     the transfer asynchronously (this is what non-blocking iset/iget
+//     exploit).
+package verbs
+
+import (
+	"fmt"
+
+	"hybridkv/internal/sim"
+	"hybridkv/internal/simnet"
+)
+
+// Op identifies a work-request / completion opcode.
+type Op int
+
+const (
+	OpSend Op = iota
+	OpRecv
+	OpWrite
+	OpWriteImm
+	OpRead
+	OpAtomic
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpRecv:
+		return "RECV"
+	case OpWrite:
+		return "WRITE"
+	case OpWriteImm:
+		return "WRITE_IMM"
+	case OpRead:
+		return "READ"
+	case OpAtomic:
+		return "ATOMIC"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Registration cost model: pinning pages and programming the HCA's MTT is
+// expensive; this is why reusable pre-registered buffers (bset/bget) matter.
+const (
+	regBaseCost    = 35 * sim.Microsecond
+	regPerPageCost = 300 * sim.Nanosecond
+	regPageSize    = 4096
+	doorbellCost   = 200 * sim.Nanosecond
+	readReqBytes   = 16 // RDMA READ request packet size on the wire
+)
+
+// Device is the HCA attached to one fabric node.
+type Device struct {
+	env    *sim.Env
+	node   *simnet.Node
+	qps    map[int]*QP
+	mrs    map[int]*MR
+	nextQP int
+	nextMR int
+
+	// Stats
+	SendsPosted, WritesPosted, ReadsPosted int64
+	AtomicsPosted                          int64
+}
+
+// OpenDevice attaches an HCA to node and installs its packet demultiplexer.
+func OpenDevice(node *simnet.Node) *Device {
+	d := &Device{
+		env:  node.Fabric().Env(),
+		node: node,
+		qps:  make(map[int]*QP),
+		mrs:  make(map[int]*MR),
+	}
+	node.SetReceiver(d.deliver)
+	return d
+}
+
+// Env returns the simulation environment.
+func (d *Device) Env() *sim.Env { return d.env }
+
+// Node returns the fabric node under this device.
+func (d *Device) Node() *simnet.Node { return d.node }
+
+// PD is a protection domain.
+type PD struct{ dev *Device }
+
+// AllocPD allocates a protection domain (free in sim time, as in practice).
+func (d *Device) AllocPD() *PD { return &PD{dev: d} }
+
+// MR is a registered memory region. Contents are modeled as an opaque
+// payload slot that RDMA WRITEs deposit into and RDMA READs fetch from.
+type MR struct {
+	pd      *PD
+	lkey    int
+	size    int
+	payload any
+	plen    int
+	atomic  uint64
+	valid   bool
+}
+
+// RegisterMR registers size bytes, charging p the pin+MTT-programming cost.
+func (pd *PD) RegisterMR(p *sim.Proc, size int) *MR {
+	pages := (size + regPageSize - 1) / regPageSize
+	p.Sleep(regBaseCost + sim.Time(pages)*regPerPageCost)
+	return pd.registerMRFree(size)
+}
+
+// registerMRFree registers without charging time (used for pre-run setup).
+func (pd *PD) registerMRFree(size int) *MR {
+	d := pd.dev
+	d.nextMR++
+	mr := &MR{pd: pd, lkey: d.nextMR, size: size, valid: true}
+	d.mrs[mr.lkey] = mr
+	return mr
+}
+
+// RegisterMRSetup registers a region with no time charge; for simulation
+// setup outside any process.
+func (pd *PD) RegisterMRSetup(size int) *MR { return pd.registerMRFree(size) }
+
+// LKey returns the region's local key (also used as its remote key).
+func (mr *MR) LKey() int { return mr.lkey }
+
+// Size returns the registered length.
+func (mr *MR) Size() int { return mr.size }
+
+// Payload returns the last contents deposited in the region and its length.
+func (mr *MR) Payload() (any, int) { return mr.payload, mr.plen }
+
+// SetPayload stores contents into the region locally (memcpy cost is the
+// caller's to model).
+func (mr *MR) SetPayload(v any, n int) {
+	if n > mr.size {
+		panic(fmt.Sprintf("verbs: payload %d exceeds MR size %d", n, mr.size))
+	}
+	mr.payload, mr.plen = v, n
+}
+
+// Deregister invalidates the region.
+func (mr *MR) Deregister() {
+	mr.valid = false
+	delete(mr.pd.dev.mrs, mr.lkey)
+}
+
+// Completion is one CQ entry.
+type Completion struct {
+	WRID    uint64
+	Op      Op
+	QPN     int // local QP number
+	Bytes   int
+	Payload any
+	Imm     uint64
+}
+
+// CQ is a completion queue.
+type CQ struct {
+	dev *Device
+	q   *sim.Queue[Completion]
+	ev  *sim.Event // fired when the CQ becomes non-empty; re-armed on drain
+}
+
+// CreateCQ allocates a completion queue. Depth ≤ 0 means unbounded (the
+// simulated HCA never overruns; overrun modeling is out of scope).
+func (d *Device) CreateCQ(depth int) *CQ {
+	return &CQ{dev: d, q: sim.NewQueue[Completion](d.env, depth), ev: d.env.NewEvent()}
+}
+
+// Poll removes one completion without blocking.
+func (cq *CQ) Poll() (Completion, bool) { return cq.q.TryGet() }
+
+// Len reports queued completions.
+func (cq *CQ) Len() int { return cq.q.Len() }
+
+// WaitPoll blocks the process until a completion is available and returns it.
+func (cq *CQ) WaitPoll(p *sim.Proc) Completion {
+	c, _ := cq.q.Get(p)
+	return c
+}
+
+func (cq *CQ) push(c Completion) {
+	cq.q.TryPut(c)
+	if !cq.ev.Fired() {
+		cq.ev.Fire()
+	}
+	cq.ev = cq.dev.env.NewEvent()
+}
+
+// Notify returns an event that fires on the next completion arrival.
+// A completion may already be pending; callers must Poll first.
+func (cq *CQ) Notify() *sim.Event {
+	if cq.q.Len() > 0 {
+		ev := cq.dev.env.NewEvent()
+		ev.Fire()
+		return ev
+	}
+	return cq.ev
+}
+
+// SendWR is a send-queue work request.
+type SendWR struct {
+	WRID uint64
+	Op   Op // OpSend, OpWrite, OpWriteImm, OpRead
+	// Size is the wire size in bytes (header + value for SEND).
+	Size int
+	// Payload travels to the responder (SEND/WRITE*) or names the local
+	// destination MR (READ: payload ignored).
+	Payload any
+	// RemoteMR is the remote region targeted by WRITE/WRITE_IMM/READ.
+	RemoteMR int
+	// LocalMR receives RDMA READ data.
+	LocalMR *MR
+	// Imm is delivered with WRITE_IMM.
+	Imm uint64
+	// Signaled requests a local completion.
+	Signaled bool
+	// Inline copies the payload at post time: the source buffer is
+	// reusable immediately, allowed only for small payloads.
+	Inline bool
+}
+
+// MaxInline is the largest inline send the simulated HCA accepts.
+const MaxInline = 256
+
+// RecvWR is a receive-queue work request.
+type RecvWR struct {
+	WRID uint64
+}
+
+// QP is a reliable-connected queue pair.
+type QP struct {
+	srq        *SRQ
+	dev        *Device
+	qpn        int
+	remoteNode string
+	remoteQPN  int
+	sendCQ     *CQ
+	recvCQ     *CQ
+	recvQ      []RecvWR
+	connected  bool
+
+	pendingReads map[uint64]*SendWR
+}
+
+// CreateQP allocates a queue pair bound to the given CQs.
+func (d *Device) CreateQP(sendCQ, recvCQ *CQ) *QP {
+	d.nextQP++
+	qp := &QP{
+		dev: d, qpn: d.nextQP,
+		sendCQ: sendCQ, recvCQ: recvCQ,
+		pendingReads: make(map[uint64]*SendWR),
+	}
+	d.qps[qp.qpn] = qp
+	return qp
+}
+
+// QPN returns the local queue pair number.
+func (qp *QP) QPN() int { return qp.qpn }
+
+// Connect transitions both QPs to RTS against each other (out-of-band
+// connection management; no simulated cost, as setup is not measured).
+func Connect(a, b *QP) {
+	a.remoteNode, a.remoteQPN = b.dev.node.Name(), b.qpn
+	b.remoteNode, b.remoteQPN = a.dev.node.Name(), a.qpn
+	a.connected, b.connected = true, true
+}
+
+// PostRecv posts a receive work request (no time cost; pre-posted buffers).
+func (qp *QP) PostRecv(wr RecvWR) { qp.recvQ = append(qp.recvQ, wr) }
+
+// RecvDepth reports outstanding receive WRs.
+func (qp *QP) RecvDepth() int { return len(qp.recvQ) }
+
+// wire is the fabric payload for verbs traffic.
+type wire struct {
+	kind     Op
+	srcQPN   int
+	dstQPN   int
+	wrid     uint64 // requester's WRID (for READ responses)
+	payload  any
+	size     int
+	remoteMR int
+	imm      uint64
+	signaled bool
+	ackFor   bool // this is a READ response
+}
+
+// PostSend posts a send-queue WR, charging the caller only the doorbell
+// cost. The HCA performs the transfer asynchronously.
+func (qp *QP) PostSend(p *sim.Proc, wr SendWR) {
+	if !qp.connected {
+		panic("verbs: PostSend on unconnected QP")
+	}
+	if wr.Inline && wr.Size > MaxInline {
+		panic(fmt.Sprintf("verbs: inline send of %d bytes exceeds MaxInline", wr.Size))
+	}
+	p.Sleep(doorbellCost)
+	qp.start(wr)
+}
+
+// PostSendSetup posts without charging time; for simulation setup.
+func (qp *QP) PostSendSetup(wr SendWR) { qp.start(wr) }
+
+func (qp *QP) start(wr SendWR) *simnet.Outgoing {
+	d := qp.dev
+	switch wr.Op {
+	case OpSend:
+		d.SendsPosted++
+	case OpWrite, OpWriteImm:
+		d.WritesPosted++
+	case OpRead:
+		d.ReadsPosted++
+	default:
+		panic("verbs: bad send opcode " + wr.Op.String())
+	}
+	if wr.Op == OpRead {
+		// A small request packet travels out; the data comes back on the
+		// reverse link driven by the remote HCA, no remote CPU.
+		wrCopy := wr
+		qp.pendingReads[wr.WRID] = &wrCopy
+		return qp.post(readReqBytes, &wire{
+			kind: OpRead, srcQPN: qp.qpn, dstQPN: qp.remoteQPN,
+			wrid: wr.WRID, remoteMR: wr.RemoteMR, size: wr.Size, signaled: wr.Signaled,
+		})
+	}
+	out := qp.post(wr.Size, &wire{
+		kind: wr.Op, srcQPN: qp.qpn, dstQPN: qp.remoteQPN,
+		wrid: wr.WRID, payload: wr.Payload, size: wr.Size,
+		remoteMR: wr.RemoteMR, imm: wr.Imm, signaled: wr.Signaled,
+	})
+	if wr.Signaled {
+		// RC send completion: generated when the ACK returns, i.e. one
+		// propagation delay after full delivery.
+		prop := qp.dev.node.Fabric().Spec().PropDelay
+		wrID, op, size := wr.WRID, wr.Op, wr.Size
+		localQPN := qp.qpn
+		sendCQ := qp.sendCQ
+		d.env.Spawn("ack-wait", func(p *sim.Proc) {
+			p.Wait(out.Delivered)
+			p.Sleep(prop)
+			sendCQ.push(Completion{WRID: wrID, Op: op, QPN: localQPN, Bytes: size})
+		})
+	}
+	return out
+}
+
+// post hands a wire message to the local NIC towards the connected peer.
+func (qp *QP) post(size int, w *wire) *simnet.Outgoing {
+	return qp.dev.node.Post(qp.remoteNode, size, w)
+}
+
+// PostSendReusable is PostSend that additionally returns an event firing
+// when the caller's buffers are reusable (DMA has read them out of host
+// memory). This is the primitive under memcached_bset/bget.
+func (qp *QP) PostSendReusable(p *sim.Proc, wr SendWR) *sim.Event {
+	if !qp.connected {
+		panic("verbs: PostSendReusable on unconnected QP")
+	}
+	if wr.Op == OpRead {
+		panic("verbs: PostSendReusable does not apply to READ")
+	}
+	p.Sleep(doorbellCost)
+	out := qp.start(wr)
+	if wr.Inline && wr.Size <= MaxInline {
+		ev := qp.dev.env.NewEvent()
+		ev.Fire()
+		return ev
+	}
+	return out.Sent
+}
+
+// deliver demultiplexes an arriving fabric message to verbs semantics.
+func (d *Device) deliver(m *simnet.Message) {
+	if aw, ok := m.Payload.(*atomicWire); ok {
+		d.deliverAtomic(m.Src, aw)
+		return
+	}
+	w, ok := m.Payload.(*wire)
+	if !ok {
+		panic("verbs: non-verbs payload on device node")
+	}
+	qp := d.qps[w.dstQPN]
+	if qp == nil {
+		panic(fmt.Sprintf("verbs: delivery to unknown QP %d on %s", w.dstQPN, d.node.Name()))
+	}
+	if w.kind == OpRead && w.ackFor {
+		// READ response arriving back at the requester.
+		rd := qp.pendingReads[w.wrid]
+		if rd == nil {
+			panic("verbs: READ response with no pending request")
+		}
+		delete(qp.pendingReads, w.wrid)
+		if rd.LocalMR != nil {
+			rd.LocalMR.SetPayload(w.payload, w.size)
+		}
+		if w.signaled {
+			qp.sendCQ.push(Completion{
+				WRID: w.wrid, Op: OpRead, QPN: qp.qpn,
+				Bytes: w.size, Payload: w.payload,
+			})
+		}
+		return
+	}
+	switch w.kind {
+	case OpSend:
+		rwr, ok := qp.consumeRecv()
+		if !ok {
+			panic(fmt.Sprintf("verbs: RNR — SEND with no posted RECV on %s qp%d", d.node.Name(), qp.qpn))
+		}
+		qp.recvCQ.push(Completion{
+			WRID: rwr.WRID, Op: OpRecv, QPN: qp.qpn,
+			Bytes: w.size, Payload: w.payload,
+		})
+	case OpWrite:
+		mr := d.mrs[w.remoteMR]
+		if mr == nil || !mr.valid {
+			panic(fmt.Sprintf("verbs: WRITE to invalid MR %d on %s", w.remoteMR, d.node.Name()))
+		}
+		mr.SetPayload(w.payload, w.size)
+	case OpWriteImm:
+		mr := d.mrs[w.remoteMR]
+		if mr == nil || !mr.valid {
+			panic(fmt.Sprintf("verbs: WRITE_IMM to invalid MR %d on %s", w.remoteMR, d.node.Name()))
+		}
+		mr.SetPayload(w.payload, w.size)
+		rwr, ok := qp.consumeRecv()
+		if !ok {
+			panic(fmt.Sprintf("verbs: RNR — WRITE_IMM with no posted RECV on %s qp%d", d.node.Name(), qp.qpn))
+		}
+		qp.recvCQ.push(Completion{
+			WRID: rwr.WRID, Op: OpWriteImm, QPN: qp.qpn,
+			Bytes: w.size, Payload: w.payload, Imm: w.imm,
+		})
+	case OpRead:
+		// Responder HCA streams the MR contents back; zero remote CPU.
+		mr := d.mrs[w.remoteMR]
+		if mr == nil || !mr.valid {
+			panic(fmt.Sprintf("verbs: READ of invalid MR %d on %s", w.remoteMR, d.node.Name()))
+		}
+		payload, plen := mr.payload, mr.plen
+		if w.size > 0 && w.size < plen {
+			plen = w.size
+		}
+		d.node.Post(m.Src, plen, &wire{
+			kind: OpRead, srcQPN: w.dstQPN, dstQPN: w.srcQPN,
+			wrid: w.wrid, payload: payload, size: plen,
+			signaled: w.signaled, ackFor: true,
+		})
+	}
+}

@@ -1,0 +1,225 @@
+// Package workload generates the OHB-style micro-benchmark workloads the
+// paper evaluates with (Section VI-A): uniform and Zipf-like skewed key
+// access patterns, configurable key-value sizes, read:write operation
+// mixes, and the block-based bursty I/O pattern that mimics burst-buffer
+// workloads (Listing 2).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Pattern selects the key access distribution.
+type Pattern int
+
+const (
+	// Zipf is a YCSB-style zipfian distribution: repeated requests hit a
+	// small popular subset.
+	Zipf Pattern = iota
+	// Uniform picks keys uniformly at random.
+	Uniform
+	// Sequential sweeps the keyspace in order (preloads, scans).
+	Sequential
+	// Latest skews reads toward recently inserted keys (YCSB workload D):
+	// the drawn rank counts back from the newest key.
+	Latest
+)
+
+func (pt Pattern) String() string {
+	switch pt {
+	case Zipf:
+		return "zipf"
+	case Uniform:
+		return "uniform"
+	case Sequential:
+		return "sequential"
+	case Latest:
+		return "latest"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(pt))
+}
+
+// OpKind is the operation type drawn from the mix.
+type OpKind int
+
+const (
+	OpGet OpKind = iota
+	OpSet
+)
+
+// Config describes one workload.
+type Config struct {
+	// Keys is the keyspace size.
+	Keys int
+	// ValueSize is the value size in bytes (the paper's "key-value pair
+	// size" knob).
+	ValueSize int
+	// ReadFraction is the share of Gets (1.0 = read-only; 0.5 = the
+	// paper's write-heavy 50:50 mix).
+	ReadFraction float64
+	// Pattern selects the distribution.
+	Pattern Pattern
+	// ZipfS is the zipfian exponent (default 0.99, YCSB's theta).
+	ZipfS float64
+	// Seed makes the stream reproducible.
+	Seed int64
+	// GrowOnWrite makes every write target a brand-new key appended to
+	// the keyspace (YCSB D inserts). Keys then counts the preloaded
+	// prefix; the generator tracks growth.
+	GrowOnWrite bool
+}
+
+// Generator produces a deterministic operation stream.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	cdf  []float64 // zipf cumulative distribution over ranks
+	seq  int
+	high int // current keyspace size (grows with GrowOnWrite inserts)
+}
+
+// New builds a generator.
+func New(cfg Config) *Generator {
+	if cfg.Keys <= 0 {
+		panic("workload: Keys must be positive")
+	}
+	if cfg.ZipfS <= 0 {
+		cfg.ZipfS = 0.99
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), high: cfg.Keys}
+	if cfg.Pattern == Zipf || cfg.Pattern == Latest {
+		g.cdf = zipfCDF(cfg.Keys, cfg.ZipfS)
+	}
+	return g
+}
+
+// zipfCDF precomputes the cumulative rank distribution P(rank ≤ k) for a
+// zipfian with exponent s over n ranks.
+func zipfCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return cdf
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Key renders the canonical key for index i.
+func (g *Generator) Key(i int) string {
+	return fmt.Sprintf("obj:%010d", i)
+}
+
+// nextIndex draws a key index per the configured pattern.
+func (g *Generator) nextIndex() int {
+	switch g.cfg.Pattern {
+	case Uniform:
+		return g.rng.Intn(g.cfg.Keys)
+	case Sequential:
+		i := g.seq % g.cfg.Keys
+		g.seq++
+		return i
+	case Latest:
+		// Rank 0 = the newest key; draw the rank zipfian and count back.
+		rank := g.zipfRank()
+		if rank >= g.high {
+			rank = g.high - 1
+		}
+		return g.high - 1 - rank
+	default: // Zipf
+		// Scramble rank → key index so popular keys are spread across the
+		// keyspace (and across servers), as YCSB does.
+		return scramble(g.zipfRank(), g.cfg.Keys)
+	}
+}
+
+// zipfRank draws a popularity rank from the precomputed CDF.
+func (g *Generator) zipfRank() int {
+	u := g.rng.Float64()
+	lo, hi := 0, len(g.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cdf[mid] >= u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// scramble maps a popularity rank to a stable pseudo-random key index.
+func scramble(rank, n int) int {
+	x := uint64(rank)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// Next draws one operation: its kind and key.
+func (g *Generator) Next() (OpKind, string) {
+	if g.rng.Float64() < g.cfg.ReadFraction {
+		return OpGet, g.Key(g.nextIndex())
+	}
+	if g.cfg.GrowOnWrite {
+		// Insert: a brand-new key appended past the current high mark.
+		idx := g.high
+		g.high++
+		return OpSet, g.Key(idx)
+	}
+	return OpSet, g.Key(g.nextIndex())
+}
+
+// High returns the current keyspace size (> Keys once GrowOnWrite inserts
+// have run).
+func (g *Generator) High() int { return g.high }
+
+// ValueSize returns the configured value size.
+func (g *Generator) ValueSize() int { return g.cfg.ValueSize }
+
+// Keys returns the keyspace size.
+func (g *Generator) Keys() int { return g.cfg.Keys }
+
+// BlockConfig describes the bursty block I/O pattern: data is read and
+// written in blocks, each split into chunks that fit key-value pairs and
+// may scatter across servers (Section IV-B).
+type BlockConfig struct {
+	// BlockSize is the block size in bytes (the paper uses 2 MB and 16 MB).
+	BlockSize int
+	// ChunkSize is the key-value pair size (the paper uses 256 KB).
+	ChunkSize int
+	// TotalBytes is the overall workload size (the paper uses 4 GB).
+	TotalBytes int64
+}
+
+// Blocks returns the number of whole blocks in the workload.
+func (b BlockConfig) Blocks() int {
+	if b.BlockSize <= 0 {
+		return 0
+	}
+	return int(b.TotalBytes / int64(b.BlockSize))
+}
+
+// ChunksPerBlock returns the chunks in one block.
+func (b BlockConfig) ChunksPerBlock() int {
+	if b.ChunkSize <= 0 {
+		return 0
+	}
+	return (b.BlockSize + b.ChunkSize - 1) / b.ChunkSize
+}
+
+// ChunkKey names chunk c of block blk.
+func (b BlockConfig) ChunkKey(blk, c int) string {
+	return fmt.Sprintf("blk:%08d:chunk:%04d", blk, c)
+}

@@ -1,0 +1,52 @@
+package workload
+
+import "fmt"
+
+// YCSB core-workload presets (Cooper et al., SoCC 2010 — reference [6] of
+// the paper). The paper's micro-benchmarks mimic these cloud-serving
+// mixes; the presets make the mapping explicit:
+//
+//	A  update-heavy   50/50 read/update, zipfian
+//	B  read-mostly    95/5 read/update, zipfian
+//	C  read-only      100% read, zipfian
+//	D  read-latest    95/5 read/insert, latest distribution
+//	F  read-mod-write 50/50 read/RMW, zipfian
+//
+// Workload E (short scans) has no memcached equivalent and is not offered.
+type YCSB byte
+
+const (
+	YCSBA YCSB = 'A'
+	YCSBB YCSB = 'B'
+	YCSBC YCSB = 'C'
+	YCSBD YCSB = 'D'
+	YCSBF YCSB = 'F'
+)
+
+// YCSBConfig returns the workload Config for one preset. For D the
+// generator grows the keyspace on writes and draws reads from a "latest"
+// distribution. ReadModifyWrite reports whether writes should execute as
+// Get + CAS (workload F); the op stream itself is a 50/50 mix.
+func YCSBConfig(w YCSB, keys, valueSize int, seed int64) (cfg Config, readModifyWrite bool, err error) {
+	base := Config{Keys: keys, ValueSize: valueSize, Seed: seed, ZipfS: 0.99}
+	switch w {
+	case YCSBA:
+		base.ReadFraction, base.Pattern = 0.5, Zipf
+	case YCSBB:
+		base.ReadFraction, base.Pattern = 0.95, Zipf
+	case YCSBC:
+		base.ReadFraction, base.Pattern = 1.0, Zipf
+	case YCSBD:
+		base.ReadFraction, base.Pattern = 0.95, Latest
+		base.GrowOnWrite = true
+	case YCSBF:
+		base.ReadFraction, base.Pattern = 0.5, Zipf
+		return base, true, nil
+	default:
+		return Config{}, false, fmt.Errorf("workload: unknown YCSB preset %q (have A,B,C,D,F)", string(w))
+	}
+	return base, false, nil
+}
+
+// YCSBName renders "YCSB-A" style labels.
+func YCSBName(w YCSB) string { return "YCSB-" + string(w) }

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestYCSBPresets(t *testing.T) {
+	cases := []struct {
+		w    YCSB
+		read float64
+		pat  Pattern
+		grow bool
+		rmw  bool
+	}{
+		{YCSBA, 0.5, Zipf, false, false},
+		{YCSBB, 0.95, Zipf, false, false},
+		{YCSBC, 1.0, Zipf, false, false},
+		{YCSBD, 0.95, Latest, true, false},
+		{YCSBF, 0.5, Zipf, false, true},
+	}
+	for _, c := range cases {
+		cfg, rmw, err := YCSBConfig(c.w, 1000, 4096, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", YCSBName(c.w), err)
+		}
+		if cfg.ReadFraction != c.read || cfg.Pattern != c.pat ||
+			cfg.GrowOnWrite != c.grow || rmw != c.rmw {
+			t.Errorf("%s: cfg=%+v rmw=%v", YCSBName(c.w), cfg, rmw)
+		}
+		if cfg.Keys != 1000 || cfg.ValueSize != 4096 {
+			t.Errorf("%s: size knobs not threaded", YCSBName(c.w))
+		}
+	}
+	if _, _, err := YCSBConfig('E', 10, 10, 1); err == nil {
+		t.Errorf("YCSB E accepted; scans are unsupported")
+	}
+	if _, _, err := YCSBConfig('Z', 10, 10, 1); err == nil {
+		t.Errorf("unknown preset accepted")
+	}
+}
+
+func TestLatestDistributionFavorsNewKeys(t *testing.T) {
+	g := New(Config{Keys: 10000, Pattern: Latest, ReadFraction: 1, Seed: 6})
+	newest := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		_, key := g.Next()
+		// The newest 1% of the keyspace are keys 9900..9999.
+		var idx int
+		if _, err := sscanKey(key, &idx); err != nil {
+			t.Fatalf("bad key %q", key)
+		}
+		if idx >= 9900 {
+			newest++
+		}
+	}
+	frac := float64(newest) / n
+	if frac < 0.25 {
+		t.Errorf("newest 1%% of keys drew %.1f%% of reads, want ≥25%% under latest", frac*100)
+	}
+}
+
+func TestGrowOnWriteInserts(t *testing.T) {
+	g := New(Config{Keys: 100, Pattern: Latest, ReadFraction: 0, Seed: 7, GrowOnWrite: true})
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		op, key := g.Next()
+		if op != OpSet {
+			t.Fatalf("write-only mix produced a get")
+		}
+		if seen[key] {
+			t.Fatalf("insert reused key %s", key)
+		}
+		seen[key] = true
+	}
+	if g.High() != 150 {
+		t.Errorf("keyspace high %d after 50 inserts over 100, want 150", g.High())
+	}
+}
+
+func TestLatestTracksInsertFrontier(t *testing.T) {
+	g := New(Config{Keys: 1000, Pattern: Latest, ReadFraction: 0.5, Seed: 8, GrowOnWrite: true})
+	const n = 20000
+	beyond := 0
+	for i := 0; i < n; i++ {
+		op, key := g.Next()
+		var idx int
+		if _, err := sscanKey(key, &idx); err != nil {
+			t.Fatalf("bad key %q", key)
+		}
+		if op == OpGet && idx >= 1000 {
+			beyond++ // read of an inserted (post-preload) key
+		}
+	}
+	if beyond == 0 {
+		t.Errorf("latest reads never reached inserted keys")
+	}
+	if g.High() <= 1000 {
+		t.Errorf("no growth recorded")
+	}
+	if math.Abs(float64(g.High()-1000)/float64(n)-0.5) > 0.05 {
+		t.Errorf("inserts %d of %d ops, want ≈50%%", g.High()-1000, n)
+	}
+}
+
+// sscanKey parses the canonical "obj:%010d" key format.
+func sscanKey(key string, idx *int) (int, error) {
+	return fmt.Sscanf(key, "obj:%d", idx)
+}
