@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race smoke check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run every registered experiment end to end at a tiny operation count.
+smoke:
+	$(GO) run ./cmd/mc-bench -smoke
+
+# The pre-merge gate: static analysis, the full suite under the race
+# detector, and a registry smoke run.
+check: vet race smoke

@@ -7,6 +7,7 @@
 //	mc-bench -list
 //	mc-bench [-full] [-ops N] fig1a fig6b ...
 //	mc-bench [-full] all
+//	mc-bench -smoke          (whole registry at tiny op counts)
 //
 // Experiment ids follow the paper's figure numbering (fig1a..fig8b); see
 // DESIGN.md §5 for the per-experiment index.
@@ -39,9 +40,10 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	full := flag.Bool("full", false, "use the paper's full sizes (1 GB server memory) instead of the 4x-scaled default")
 	ops := flag.Int("ops", 0, "override the measured operation count")
+	smoke := flag.Bool("smoke", false, "run every registered experiment at a tiny operation count (registry smoke test)")
 	csvDir := flag.String("csv", "", "also write each experiment's tables as CSV into this directory")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mc-bench [-list] [-full] [-ops N] <experiment-id>... | all\n\n")
+		fmt.Fprintf(os.Stderr, "usage: mc-bench [-list] [-full] [-ops N] [-smoke] <experiment-id>... | all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -54,11 +56,17 @@ func main() {
 	}
 
 	args := flag.Args()
+	if *smoke && len(args) == 0 {
+		args = []string{"all"}
+	}
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 	opts := bench.Options{Full: *full, Ops: *ops}
+	if *smoke && opts.Ops == 0 {
+		opts.Ops = 300
+	}
 	var ids []string
 	if len(args) == 1 && args[0] == "all" {
 		for _, e := range bench.Registry {

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"testing"
+
+	"hybridkv/internal/cluster"
+)
+
+const (
+	faultTestMem = 32 << 20
+	faultTestKV  = 32 << 10
+)
+
+func faultTestCluster(d cluster.Design) (*cluster.Cluster, int) {
+	return buildFaultCluster(d, faultTestMem, faultTestMem*3/2, faultTestKV)
+}
+
+// A clean (empty-schedule) run must never engage the recovery machinery:
+// no retries, no timeouts, no failures, nothing dropped.
+func TestFaultedCleanRun(t *testing.T) {
+	for _, d := range []cluster.Design{cluster.HRDMAOptBlock, cluster.HRDMAOptNonBI, cluster.IPoIBMem} {
+		cl, keys := faultTestCluster(d)
+		gen := workloadForTest(keys, faultTestKV)
+		r := RunFaulted(cl, gen, 0, 300, FaultSchedule{})
+		if r.Failed != 0 {
+			t.Errorf("%s: clean run failed %d ops", d, r.Failed)
+		}
+		if r.OK+r.Misses != r.Ops {
+			t.Errorf("%s: OK %d + Misses %d != Ops %d", d, r.OK, r.Misses, r.Ops)
+		}
+		for _, name := range []string{"retries", "timeouts", "failovers", "cancels"} {
+			if n := r.Counters.Get(name); n != 0 {
+				t.Errorf("%s: clean run has %s=%d", d, name, n)
+			}
+		}
+		if r.NetDropped != 0 {
+			t.Errorf("%s: clean run dropped %d messages", d, r.NetDropped)
+		}
+		if r.Goodput <= 0 {
+			t.Errorf("%s: goodput %f", d, r.Goodput)
+		}
+	}
+}
+
+// With an empty schedule the deadline/retry instrumentation must be
+// invisible: the run takes exactly the same virtual time as the plain
+// blocking driver on an identical cluster and workload.
+func TestFaultedEmptyScheduleParity(t *testing.T) {
+	d := cluster.HRDMAOptBlock
+	ops := 300
+
+	cl1, keys := faultTestCluster(d)
+	r := RunFaulted(cl1, workloadForTest(keys, faultTestKV), 0, ops, FaultSchedule{})
+
+	cl2, keys2 := faultTestCluster(d)
+	if keys2 != keys {
+		t.Fatalf("cluster geometry mismatch: %d vs %d keys", keys2, keys)
+	}
+	b := RunBlocking(cl2, workloadForTest(keys, faultTestKV), 0, ops)
+
+	if r.Elapsed != b.Elapsed {
+		t.Errorf("empty-schedule elapsed %v != blocking driver elapsed %v", r.Elapsed, b.Elapsed)
+	}
+	if r.Misses != b.Misses {
+		t.Errorf("empty-schedule misses %d != blocking driver misses %d", r.Misses, b.Misses)
+	}
+}
+
+// Every design must survive the default fault schedule: all ops accounted
+// for, recovery engaged on the lossy fabric, and the run fully deterministic.
+func TestFaultedAllDesigns(t *testing.T) {
+	sched := DefaultFaultSchedule()
+	for _, d := range cluster.Designs {
+		run := func() *FaultedResult {
+			cl, keys := faultTestCluster(d)
+			return RunFaulted(cl, workloadForTest(keys, faultTestKV), 0, 300, sched)
+		}
+		r1 := run()
+		if r1.OK+r1.Misses+r1.Failed != r1.Ops {
+			t.Errorf("%s: OK %d + Misses %d + Failed %d != Ops %d",
+				d, r1.OK, r1.Misses, r1.Failed, r1.Ops)
+		}
+		if r1.NetDropped == 0 {
+			t.Errorf("%s: fault schedule dropped nothing", d)
+		}
+		if d.Transport() != cluster.IPoIBMem.Transport() {
+			if r1.Counters.Get("retries") == 0 && r1.Failed == 0 {
+				t.Errorf("%s: drops injected but no retries and no failures", d)
+			}
+		}
+		r2 := run()
+		if r1.Elapsed != r2.Elapsed || r1.OK != r2.OK || r1.Failed != r2.Failed {
+			t.Errorf("%s: faulted run not deterministic: (%v,%d,%d) vs (%v,%d,%d)",
+				d, r1.Elapsed, r1.OK, r1.Failed, r2.Elapsed, r2.OK, r2.Failed)
+		}
+	}
+}
+
+// The registry experiment itself at smoke scale.
+func TestFaultsExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("faults experiment is slow")
+	}
+	r := faultsExp(quick())
+	for _, d := range cluster.Designs {
+		name := d.String()
+		if r.Metrics[name+".clean_failed"] != 0 {
+			t.Errorf("%s: clean phase failed %v ops", name, r.Metrics[name+".clean_failed"])
+		}
+		if r.Metrics[name+".clean_retries"] != 0 {
+			t.Errorf("%s: clean phase retried %v times", name, r.Metrics[name+".clean_retries"])
+		}
+		if r.Metrics[name+".net_dropped"] == 0 {
+			t.Errorf("%s: faulted phase dropped nothing", name)
+		}
+		if r.Metrics[name+".fault_goodput"] <= 0 {
+			t.Errorf("%s: faulted goodput %v", name, r.Metrics[name+".fault_goodput"])
+		}
+	}
+	if r.Output == "" {
+		t.Error("no output table")
+	}
+}

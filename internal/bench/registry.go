@@ -28,6 +28,7 @@ var Registry = []Experiment{
 	{"fig7c", "Aggregated throughput scalability", fig7c},
 	{"fig8a", "SATA vs NVMe, read-only and write-heavy", fig8a},
 	{"fig8b", "Bursty block I/O workload", fig8b},
+	{"faults", "Degraded mode: tail latency and goodput under a fault schedule", faultsExp},
 }
 
 // ByID finds an experiment, or nil.

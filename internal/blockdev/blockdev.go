@@ -15,6 +15,7 @@ package blockdev
 
 import (
 	"fmt"
+	"math/rand"
 
 	"hybridkv/internal/sim"
 )
@@ -90,10 +91,18 @@ type Device struct {
 	channels *sim.Resource
 	extents  map[int64]extent
 
+	// Fault injection (SetFaults). The RNG is only consulted while a
+	// probability is non-zero, so an unfaulted device stays deterministic.
+	faultRNG     *rand.Rand
+	readErrProb  float64
+	writeErrProb float64
+
 	// Stats
 	Reads, Writes         int64
 	BytesRead, BytesWrite int64
 	BusyTime              sim.Time
+	// ReadErrors / WriteErrors count injected I/O failures.
+	ReadErrors, WriteErrors int64
 }
 
 type extent struct {
@@ -124,6 +133,41 @@ func (d *Device) Capacity() int64 { return d.capacity }
 // QueueDepth reports commands waiting for a channel.
 func (d *Device) QueueDepth() int { return d.channels.Waiting() }
 
+// SetFaults arms I/O error injection: each read (write) command fails
+// uncorrectably with probability readErr (writeErr). Zero probabilities
+// disarm injection.
+func (d *Device) SetFaults(seed int64, readErr, writeErr float64) {
+	d.faultRNG = rand.New(rand.NewSource(seed))
+	d.readErrProb = readErr
+	d.writeErrProb = writeErr
+}
+
+// InjectReadError draws one read-command fault decision. Layers that model
+// device timing themselves (the page cache) consult this on their
+// device-touching read paths.
+func (d *Device) InjectReadError() bool {
+	if d.readErrProb <= 0 || d.faultRNG == nil {
+		return false
+	}
+	if d.faultRNG.Float64() < d.readErrProb {
+		d.ReadErrors++
+		return true
+	}
+	return false
+}
+
+// InjectWriteError draws one write-command fault decision.
+func (d *Device) InjectWriteError() bool {
+	if d.writeErrProb <= 0 || d.faultRNG == nil {
+		return false
+	}
+	if d.faultRNG.Float64() < d.writeErrProb {
+		d.WriteErrors++
+		return true
+	}
+	return false
+}
+
 // WriteAt stores payload at offset, blocking the calling process for the
 // queueing plus service time.
 func (d *Device) WriteAt(p *sim.Proc, off int64, size int, payload any) {
@@ -132,10 +176,14 @@ func (d *Device) WriteAt(p *sim.Proc, off int64, size int, payload any) {
 	t := d.prof.WriteTime(size)
 	p.Sleep(t)
 	d.channels.Release()
-	d.extents[off] = extent{size: size, payload: payload}
 	d.Writes++
 	d.BytesWrite += int64(size)
 	d.BusyTime += t
+	if d.InjectWriteError() {
+		// Failed program: the extent keeps (or lacks) its old contents.
+		return
+	}
+	d.extents[off] = extent{size: size, payload: payload}
 }
 
 // ReadAt fetches the payload stored at offset, blocking for the queueing
@@ -149,6 +197,9 @@ func (d *Device) ReadAt(p *sim.Proc, off int64, size int) (payload any, ok bool)
 	d.Reads++
 	d.BytesRead += int64(size)
 	d.BusyTime += t
+	if d.InjectReadError() {
+		return nil, false
+	}
 	e, ok := d.extents[off]
 	if !ok {
 		return nil, false

@@ -136,6 +136,9 @@ type Config struct {
 	AdaptiveCutoff int
 	// AsyncFlush enables write-behind eviction (paper future work).
 	AsyncFlush bool
+	// Client seeds every client's core.Config (timeout/retry knobs for
+	// degraded-mode runs); its Transport is forced to the design's.
+	Client core.Config
 }
 
 // Cluster is one assembled deployment.
@@ -223,7 +226,9 @@ func New(cfg Config) *Cluster {
 	}
 	for i := 0; i < cfg.Clients; i++ {
 		node := fab.AddNode(fmt.Sprintf("client%d", i))
-		c := core.New(env, node, core.Config{Transport: cfg.Design.Transport()})
+		ccfg := cfg.Client
+		ccfg.Transport = cfg.Design.Transport()
+		c := core.New(env, node, ccfg)
 		for _, srv := range cl.Servers {
 			if cfg.Design.Transport() == core.RDMA {
 				c.ConnectRDMA(srv)

@@ -3,18 +3,31 @@
 // (Section IV, Listing 1) and the enhanced runtime that supports them
 // (Section V-A, Figure 3).
 //
+// The non-blocking surface is one descriptor API:
+//
+//	req, err := c.Issue(p, Op{Code: protocol.OpSet, Key: k, ...},
+//	        WithBufferAck(),                  // bset/bget buffer semantics
+//	        WithDeadline(5*sim.Millisecond),  // bound completion
+//	        WithRetry(RetryPolicy{Failover: true}))
+//
+// Issue returns once the request is handed to the RDMA communication
+// engine (iset/iget semantics); WithBufferAck additionally blocks until
+// the key/value buffers are reusable (bset/bget). Completion is observed
+// with Test / Wait / WaitTimeout / WaitDeadline / WaitAny / WaitAll, or
+// abandoned with Cancel. Outcomes are read as errors: Req.Err() maps the
+// protocol status plus local timeout/cancel outcomes onto sentinel errors
+// (ErrNotFound, ErrDeadlineExceeded, ErrCanceled, …).
+//
 // API mapping from the paper's C extensions to Go:
 //
 //	memcached_set/get/delete → Client.Set / Client.Get / Client.Delete
-//	memcached_iset/iget      → Client.ISet / Client.IGet   (purely
-//	    non-blocking: return once the request is handed to the RDMA
-//	    communication engine; key/value buffers NOT yet reusable)
-//	memcached_bset/bget      → Client.BSet / Client.BGet   (return once the
-//	    user's key/value buffers are reusable, i.e. the data has left the
-//	    NIC or — on an async server — is buffered remotely)
-//	memcached_test/wait      → Client.Test / Client.Wait (+ WaitAll)
+//	memcached_iset/iget      → Issue(p, Op{...})            (wrappers:
+//	    Client.ISet / Client.IGet; key/value buffers NOT yet reusable)
+//	memcached_bset/bget      → Issue(p, Op{...}, WithBufferAck())
+//	    (wrappers: Client.BSet / Client.BGet)
+//	memcached_test/wait      → Client.Test / Client.Wait (+ WaitAny/WaitAll)
 //	memcached_req            → Req (completion flag, response buffer,
-//	    status, timing)
+//	    status, Err, timing)
 //
 // Runtime structure per connection (violet/red/green paths of Figure 3):
 // a TX engine process drains an issue queue, respecting per-connection
@@ -22,7 +35,12 @@
 // work request, and fires the request's buffer-reusable event at DMA-sent
 // time; a progress engine process polls the receive CQ, returns credits on
 // BufferAck/Response, copies fetched values into the user's buffer, and
-// fires the completion flag.
+// fires the completion flag. Recovery runs beside them: requests issued
+// with a deadline or retry policy get a guard process that expires,
+// retransmits (idempotency-aware, with exponential backoff + jitter), or
+// fails the operation over to another connection; every retransmission is
+// a fresh attempt with a fresh wire id, and late or duplicate responses to
+// old attempts are absorbed as stale.
 package core
 
 import (
@@ -63,6 +81,13 @@ type Config struct {
 	// AckWanted forces BufferAcks for i-variants too; normally only
 	// b-variants request acks, and sync servers ignore the flag.
 	AckWanted bool
+	// RecvTimeout bounds each blocking IPoIB receive (SO_RCVTIMEO); 0 waits
+	// forever. On timeout the request is resent up to RecvRetries times,
+	// then fails with ErrDeadlineExceeded.
+	RecvTimeout sim.Time
+	// RecvRetries is the resend budget per IPoIB operation when RecvTimeout
+	// is set.
+	RecvRetries int
 }
 
 func (c *Config) fill() {
@@ -103,15 +128,36 @@ type Req struct {
 	// IssuedAt / CompletedAt are virtual timestamps.
 	IssuedAt    sim.Time
 	CompletedAt sim.Time
+	// Attempts counts transmissions (1 without retries).
+	Attempts int
 
-	done           *sim.Event // server response received ("completion flag")
-	reusable       *sim.Event // user buffers reusable
-	conn           *conn
-	creditReturned bool
+	done     *sim.Event // server response received ("completion flag")
+	reusable *sim.Event // user buffers reusable
+	c        *Client
+	conn     *conn    // connection of the current attempt
+	cur      *attempt // current (latest) attempt
+
+	// Outcome flags behind Err.
+	timedOut bool
+	canceled bool
+	acked    bool // BufferAck received: the server holds the request
+
+	// Wire template retained for retransmission.
+	txValueSize       int
+	txValue           any
+	txFlags, txExpire uint32
+	txCAS, txDelta    uint64
+	ackWanted         bool
 }
 
 // Done reports whether the operation has completed (memcached_test).
 func (r *Req) Done() bool { return r.done.Fired() }
+
+// TimedOut reports whether the operation ended by deadline expiry.
+func (r *Req) TimedOut() bool { return r.timedOut }
+
+// Canceled reports whether the operation was abandoned by Cancel.
+func (r *Req) Canceled() bool { return r.canceled }
 
 // Client is the libmemcached handle (memcached_st analog).
 type Client struct {
@@ -134,6 +180,10 @@ type Client struct {
 	// is recorded by the workload driver).
 	Prof *metrics.Breakdown
 
+	// Faults counts recovery activity: "retries", "timeouts", "cancels",
+	// "failovers", and "stale-responses" (late/duplicate answers absorbed).
+	Faults *metrics.Counters
+
 	// Stats
 	Issued, Completed int64
 }
@@ -148,22 +198,17 @@ type conn struct {
 	respMR  *verbs.MR
 	credits *sim.Resource
 	txq     *sim.Queue[*txItem]
-	pending map[uint64]*Req
+	pending map[uint64]*attempt
 	// IPoIB state
 	stream   *verbs.Stream
 	buffered []*protocol.Request // libmemcached-style deferred Sets
-}
-
-type txItem struct {
-	wire *protocol.Request
-	req  *Req
 }
 
 // New creates a client on node. Connections are added with ConnectRDMA or
 // ConnectIPoIB, one per server, before issuing operations.
 func New(env *sim.Env, node *simnet.Node, cfg Config) *Client {
 	cfg.fill()
-	c := &Client{env: env, cfg: cfg, Prof: metrics.NewBreakdown()}
+	c := &Client{env: env, cfg: cfg, Prof: metrics.NewBreakdown(), Faults: metrics.NewCounters()}
 	if cfg.Transport == RDMA {
 		c.dev = verbs.OpenDevice(node)
 		c.pd = c.dev.AllocPD()
@@ -210,7 +255,7 @@ func (c *Client) ConnectRDMA(srv RDMAServer) {
 		respMR:   c.pd.RegisterMRSetup(c.cfg.MaxValue),
 		credits:  sim.NewResource(c.env, srv.RecvDepth()),
 		txq:      sim.NewQueue[*txItem](c.env, 0),
-		pending:  make(map[uint64]*Req),
+		pending:  make(map[uint64]*attempt),
 	}
 	srv.AcceptQP(qp)
 	// The client consumes one local receive per inbound WRITE_IMM; keep a
@@ -255,6 +300,7 @@ func (c *Client) newReq(op protocol.Opcode, key string, cn *conn) *Req {
 		ID:       c.nextID,
 		Op:       op,
 		Key:      key,
+		c:        c,
 		conn:     cn,
 		done:     c.env.NewEvent(),
 		reusable: c.env.NewEvent(),
@@ -263,64 +309,51 @@ func (c *Client) newReq(op protocol.Opcode, key string, cn *conn) *Req {
 }
 
 // issue hands a request to the connection's TX engine (violet path).
+// Internal form of Issue for the blocking wrappers.
 func (c *Client) issue(p *sim.Proc, op protocol.Opcode, key string, valueSize int, value any, flags, expire uint32, ack bool) *Req {
-	cn := c.pick(key)
-	p.Sleep(c.cfg.PrepCost)
-	req := c.newReq(op, key, cn)
-	wire := &protocol.Request{
-		Op: op, ReqID: req.ID, Key: key,
-		Flags: flags, Expire: expire,
-		ValueSize: valueSize, Value: value,
-		RespMR:    cn.respMR.LKey(),
-		AckWanted: ack || c.cfg.AckWanted,
+	opts := []IssueOption(nil)
+	if ack {
+		opts = append(opts, WithBufferAck())
 	}
-	cn.pending[req.ID] = req
-	cn.txq.TryPut(&txItem{wire: wire, req: req})
-	c.Issued++
+	req, err := c.Issue(p, Op{
+		Code: op, Key: key,
+		ValueSize: valueSize, Value: value,
+		Flags: flags, Expire: expire,
+	}, opts...)
+	if err != nil {
+		panic("core: issue on non-RDMA transport")
+	}
 	return req
 }
 
 // --- Non-blocking API extensions (Listing 1) ---
+//
+// These are thin wrappers over Issue, kept for source compatibility with
+// the paper's iset/iget/bset/bget names.
 
 // ISet issues a non-blocking Set. The key/value buffers must NOT be reused
 // until Wait/Test report completion (memcached_iset).
 func (c *Client) ISet(p *sim.Proc, key string, valueSize int, value any, flags, expire uint32) (*Req, error) {
-	if c.cfg.Transport != RDMA {
-		return nil, ErrTransport
-	}
-	return c.issue(p, protocol.OpSet, key, valueSize, value, flags, expire, false), nil
+	return c.Issue(p, Op{Code: protocol.OpSet, Key: key, ValueSize: valueSize, Value: value, Flags: flags, Expire: expire})
 }
 
 // IGet issues a non-blocking Get. The key buffer must NOT be reused until
 // Wait/Test report completion (memcached_iget).
 func (c *Client) IGet(p *sim.Proc, key string) (*Req, error) {
-	if c.cfg.Transport != RDMA {
-		return nil, ErrTransport
-	}
-	return c.issue(p, protocol.OpGet, key, 0, nil, 0, 0, false), nil
+	return c.Issue(p, Op{Code: protocol.OpGet, Key: key})
 }
 
 // BSet issues a non-blocking Set and returns once the key/value buffers are
 // reusable (memcached_bset): when the value has left the NIC, or — against
 // an async server — when the server acknowledges it is buffered.
 func (c *Client) BSet(p *sim.Proc, key string, valueSize int, value any, flags, expire uint32) (*Req, error) {
-	if c.cfg.Transport != RDMA {
-		return nil, ErrTransport
-	}
-	req := c.issue(p, protocol.OpSet, key, valueSize, value, flags, expire, true)
-	p.Wait(req.reusable)
-	return req, nil
+	return c.Issue(p, Op{Code: protocol.OpSet, Key: key, ValueSize: valueSize, Value: value, Flags: flags, Expire: expire}, WithBufferAck())
 }
 
 // BGet issues a non-blocking Get and returns once the key buffer is
 // reusable (memcached_bget).
 func (c *Client) BGet(p *sim.Proc, key string) (*Req, error) {
-	if c.cfg.Transport != RDMA {
-		return nil, ErrTransport
-	}
-	req := c.issue(p, protocol.OpGet, key, 0, nil, 0, 0, true)
-	p.Wait(req.reusable)
-	return req, nil
+	return c.Issue(p, Op{Code: protocol.OpGet, Key: key}, WithBufferAck())
 }
 
 // Test reports whether the operation has completed without blocking
@@ -335,12 +368,52 @@ func (c *Client) Wait(p *sim.Proc, req *Req) {
 	c.Prof.Add(metrics.StageClientWait, p.Now()-t0)
 }
 
+// WaitTimeout waits up to d of virtual time for the operation. On timeout
+// the request completes locally with ErrDeadlineExceeded (its flow-control
+// credit is reclaimed) and false is returned.
+func (c *Client) WaitTimeout(p *sim.Proc, req *Req, d sim.Time) bool {
+	t0 := p.Now()
+	ok := p.WaitTimeout(req.done, d)
+	c.Prof.Add(metrics.StageClientWait, p.Now()-t0)
+	if !ok {
+		c.expire(req)
+	}
+	return ok
+}
+
+// WaitDeadline is WaitTimeout against an absolute virtual time.
+func (c *Client) WaitDeadline(p *sim.Proc, req *Req, at sim.Time) bool {
+	return c.WaitTimeout(p, req, at-p.Now())
+}
+
+// WaitAny blocks until any request in the batch completes and returns its
+// index (first-completed dispatch for overlap patterns).
+func (c *Client) WaitAny(p *sim.Proc, reqs []*Req) int {
+	if len(reqs) == 0 {
+		return -1
+	}
+	t0 := p.Now()
+	evs := make([]*sim.Event, len(reqs))
+	for i, r := range reqs {
+		evs[i] = r.done
+	}
+	i := p.WaitAny(evs...)
+	c.Prof.Add(metrics.StageClientWait, p.Now()-t0)
+	return i
+}
+
 // WaitAll waits for a batch of requests (block-by-block completion of the
-// bursty I/O pattern).
-func (c *Client) WaitAll(p *sim.Proc, reqs []*Req) {
+// bursty I/O pattern). Every request is drained even when one fails; the
+// first non-nil Err in batch order is returned.
+func (c *Client) WaitAll(p *sim.Proc, reqs []*Req) error {
+	var first error
 	for _, r := range reqs {
 		c.Wait(p, r)
+		if err := r.Err(); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // --- Blocking API (default libmemcached semantics) ---
@@ -388,7 +461,9 @@ func (c *Client) Delete(p *sim.Proc, key string) protocol.Status {
 
 // ipoibRoundTrip performs one blocking request/response over the socket
 // stack: the send blocks for the kernel copy (buffers reusable on return),
-// then the client waits for the reply.
+// then the client waits for the reply — bounded by Config.RecvTimeout when
+// set, resending up to Config.RecvRetries times before failing with
+// ErrDeadlineExceeded.
 func (c *Client) ipoibRoundTrip(p *sim.Proc, op protocol.Opcode, key string, valueSize int, value any, flags, expire uint32) *Req {
 	cn := c.pick(key)
 	p.Sleep(c.cfg.PrepCost)
@@ -399,10 +474,37 @@ func (c *Client) ipoibRoundTrip(p *sim.Proc, op protocol.Opcode, key string, val
 		ValueSize: valueSize, Value: value,
 	}
 	c.Issued++
+	c.ipoibExchange(p, cn, req, wire)
+	return req
+}
+
+// ipoibExchange sends wire on cn and fills req from the matching reply,
+// applying the socket-path timeout/resend policy. Shared by the blocking
+// API and the command helpers.
+func (c *Client) ipoibExchange(p *sim.Proc, cn *conn, req *Req, wire *protocol.Request) {
+	req.Attempts = 1
 	cn.stream.Send(p, wire.WireSize(), wire)
 	t0 := p.Now()
 	for {
-		msg, ok := cn.stream.Recv(p)
+		var msg verbs.StreamMsg
+		var ok, timedOut bool
+		if c.cfg.RecvTimeout > 0 {
+			msg, ok, timedOut = cn.stream.RecvTimeout(p, c.cfg.RecvTimeout)
+		} else {
+			msg, ok = cn.stream.Recv(p)
+		}
+		if timedOut {
+			if req.Attempts <= c.cfg.RecvRetries {
+				req.Attempts++
+				c.Faults.Add("retries", 1)
+				cn.stream.Send(p, wire.WireSize(), wire)
+				continue
+			}
+			req.timedOut = true
+			req.Status = protocol.StatusError
+			c.Faults.Add("timeouts", 1)
+			break
+		}
 		if !ok {
 			req.Status = protocol.StatusError
 			break
@@ -424,72 +526,4 @@ func (c *Client) ipoibRoundTrip(p *sim.Proc, op protocol.Opcode, key string, val
 	req.done.Fire()
 	req.reusable.Fire()
 	c.Completed++
-	return req
-}
-
-// txEngine drains the issue queue: waits for a flow-control credit, posts
-// the WR, and fires the request's buffer-reusable event when the data has
-// left the NIC (red path of Figure 3).
-func (cn *conn) txEngine(p *sim.Proc) {
-	for {
-		item, ok := cn.txq.Get(p)
-		if !ok {
-			return
-		}
-		cn.credits.Acquire(p)
-		sent := cn.qp.PostSendReusable(p, verbs.SendWR{
-			WRID:    item.req.ID,
-			Op:      verbs.OpSend,
-			Size:    item.wire.WireSize(),
-			Payload: item.wire,
-		})
-		// The NIC serializes messages in order; waiting for DMA-sent here
-		// pipelines exactly like the hardware send queue.
-		p.Wait(sent)
-		item.req.reusable.Fire()
-	}
-}
-
-// progressEngine polls the receive CQ: returns credits, lands values in the
-// user buffer, and fires completion flags (dark-green path of Figure 3).
-func (cn *conn) progressEngine(p *sim.Proc) {
-	for {
-		comp := cn.recvCQ.WaitPoll(p)
-		cn.qp.PostRecv(verbs.RecvWR{}) // replenish the local pool
-		resp, ok := comp.Payload.(*protocol.Response)
-		if !ok {
-			panic("core: non-response payload on client receive CQ")
-		}
-		req := cn.pending[resp.ReqID]
-		if req == nil {
-			panic(fmt.Sprintf("core: response for unknown request %d", resp.ReqID))
-		}
-		switch resp.Op {
-		case protocol.OpBufferAck:
-			// Request is buffered server-side: buffers reusable, credit back.
-			if !req.creditReturned {
-				req.creditReturned = true
-				cn.credits.Release()
-			}
-			req.reusable.Fire()
-		case protocol.OpResponse:
-			if !req.creditReturned {
-				req.creditReturned = true
-				cn.credits.Release()
-			}
-			// Zero-copy: the value was RDMA-WRITten directly into the
-			// request's registered response buffer; no client copy.
-			req.Status = resp.Status
-			req.Value = resp.Value
-			req.ValueSize = resp.ValueSize
-			req.Flags = resp.Flags
-			req.CAS = resp.CAS
-			req.CompletedAt = p.Now()
-			delete(cn.pending, resp.ReqID)
-			req.done.Fire()
-			cn.c.Completed++
-		default:
-			panic("core: unexpected opcode " + resp.Op.String())
-		}
-	}
 }

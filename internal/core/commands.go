@@ -21,8 +21,7 @@ func (c *Client) do(p *sim.Proc, wire *protocol.Request) *Req {
 	req := c.newReq(wire.Op, wire.Key, cn)
 	wire.ReqID = req.ID
 	wire.RespMR = cn.respMR.LKey()
-	cn.pending[req.ID] = req
-	cn.txq.TryPut(&txItem{wire: wire, req: req})
+	c.enqueueWire(req, cn, wire)
 	c.Issued++
 	c.Wait(p, req)
 	return req
@@ -39,31 +38,7 @@ func (c *Client) ipoibDoOn(p *sim.Proc, cn *conn, wire *protocol.Request) *Req {
 	req := c.newReq(wire.Op, wire.Key, cn)
 	wire.ReqID = req.ID
 	c.Issued++
-	cn.stream.Send(p, wire.WireSize(), wire)
-	t0 := p.Now()
-	for {
-		msg, ok := cn.stream.Recv(p)
-		if !ok {
-			req.Status = protocol.StatusError
-			break
-		}
-		resp := msg.Payload.(*protocol.Response)
-		if resp.ReqID != req.ID {
-			continue
-		}
-		p.Sleep(memcpyTime(resp.ValueSize))
-		req.Status = resp.Status
-		req.Value = resp.Value
-		req.ValueSize = resp.ValueSize
-		req.Flags = resp.Flags
-		req.CAS = resp.CAS
-		break
-	}
-	c.Prof.Add("client-wait", p.Now()-t0)
-	req.CompletedAt = p.Now()
-	req.done.Fire()
-	req.reusable.Fire()
-	c.Completed++
+	c.ipoibExchange(p, cn, req, wire)
 	return req
 }
 
@@ -158,8 +133,7 @@ func (c *Client) FlushAll(p *sim.Proc) protocol.Status {
 			p.Sleep(c.cfg.PrepCost)
 			req = c.newReq(protocol.OpFlushAll, "", cn)
 			wire := &protocol.Request{Op: protocol.OpFlushAll, ReqID: req.ID, RespMR: cn.respMR.LKey()}
-			cn.pending[req.ID] = req
-			cn.txq.TryPut(&txItem{wire: wire, req: req})
+			c.enqueueWire(req, cn, wire)
 			c.Issued++
 			c.Wait(p, req)
 		}

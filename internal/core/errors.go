@@ -1,0 +1,68 @@
+package core
+
+import (
+	"errors"
+
+	"hybridkv/internal/protocol"
+)
+
+// Sentinel errors for Req.Err: one Go error per operation outcome, so
+// callers use errors.Is instead of switching on raw protocol.Status.
+var (
+	// ErrNotFound reports a Get/Delete/Incr/Decr/Touch on a missing key.
+	ErrNotFound = errors.New("core: key not found")
+	// ErrNotStored reports an Add on an existing key, or a
+	// Replace/Append/Prepend on a missing one.
+	ErrNotStored = errors.New("core: not stored")
+	// ErrExists reports a CAS store with a stale token.
+	ErrExists = errors.New("core: CAS token stale")
+	// ErrBadValue reports Incr/Decr on a non-counter value.
+	ErrBadValue = errors.New("core: value is not a counter")
+	// ErrTooLarge reports a value over the server's item size limit.
+	ErrTooLarge = errors.New("core: value too large")
+	// ErrServer reports a generic server-side failure.
+	ErrServer = errors.New("core: server error")
+	// ErrDeadlineExceeded reports an operation that timed out (its deadline
+	// or retry budget ran out before a response arrived).
+	ErrDeadlineExceeded = errors.New("core: deadline exceeded")
+	// ErrCanceled reports an operation abandoned by Cancel.
+	ErrCanceled = errors.New("core: request canceled")
+	// ErrInFlight reports Err called before the operation completed.
+	ErrInFlight = errors.New("core: request still in flight")
+)
+
+// statusErr maps a protocol status to its sentinel error (nil for the
+// success statuses).
+func statusErr(s protocol.Status) error {
+	switch s {
+	case protocol.StatusOK, protocol.StatusStored, protocol.StatusDeleted:
+		return nil
+	case protocol.StatusNotFound:
+		return ErrNotFound
+	case protocol.StatusNotStored:
+		return ErrNotStored
+	case protocol.StatusExists:
+		return ErrExists
+	case protocol.StatusBadValue:
+		return ErrBadValue
+	case protocol.StatusTooLarge:
+		return ErrTooLarge
+	default:
+		return ErrServer
+	}
+}
+
+// Err returns the operation outcome as an error: nil on success,
+// ErrCanceled / ErrDeadlineExceeded for local abandonment, ErrInFlight
+// before completion, and the protocol status's sentinel otherwise.
+func (r *Req) Err() error {
+	switch {
+	case r.canceled:
+		return ErrCanceled
+	case r.timedOut:
+		return ErrDeadlineExceeded
+	case !r.done.Fired():
+		return ErrInFlight
+	}
+	return statusErr(r.Status)
+}

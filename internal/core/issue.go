@@ -1,0 +1,401 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hybridkv/internal/protocol"
+	"hybridkv/internal/sim"
+	"hybridkv/internal/verbs"
+)
+
+// This file is the unified issue path: one descriptor-based entry point
+// (Client.Issue) with functional options for buffer-ack, deadline, and
+// retry behaviour, plus the recovery machinery behind it — per-attempt
+// bookkeeping, deadline expiry, cancelation, and idempotency-aware
+// retransmission with connection failover.
+
+// Op describes one operation for Issue. Code and Key are required; the
+// remaining fields apply per-opcode (ValueSize/Value for stores, CAS for
+// compare-and-set, Delta for Incr/Decr).
+type Op struct {
+	Code      protocol.Opcode
+	Key       string
+	ValueSize int
+	Value     any
+	Flags     uint32
+	Expire    uint32
+	CAS       uint64
+	Delta     uint64
+}
+
+// RetryPolicy governs retransmission of an unanswered request.
+//
+// Retries are idempotency-aware: Gets retransmit freely, but a store is
+// retransmitted only while the client has no evidence the server holds it —
+// once a BufferAck arrives, the attempt is left to its deadline. Each
+// retransmitted attempt gets a fresh request id; late responses to the old
+// id are absorbed as stale.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts, including the first (default 3).
+	MaxAttempts int
+	// AttemptTimeout is the per-attempt response budget (default 50 µs).
+	AttemptTimeout sim.Time
+	// Backoff is the delay before the first retransmit; it doubles per
+	// attempt (default 5 µs).
+	Backoff sim.Time
+	// MaxBackoff caps the doubling (default 1 ms).
+	MaxBackoff sim.Time
+	// Jitter is the random fraction of backoff added per retry to spread
+	// retransmit storms (0 → default 0.2; negative disables).
+	Jitter float64
+	// Seed drives the jitter RNG (mixed with the request id, so every
+	// request jitters differently but deterministically).
+	Seed int64
+	// Failover moves each retransmit to the next connection in the pool —
+	// for replicated or cache-semantics deployments where a miss on the
+	// fallback server beats blocking on a dead one.
+	Failover bool
+}
+
+func (rp *RetryPolicy) fill() {
+	if rp.MaxAttempts <= 0 {
+		rp.MaxAttempts = 3
+	}
+	if rp.AttemptTimeout <= 0 {
+		rp.AttemptTimeout = 50 * sim.Microsecond
+	}
+	if rp.Backoff <= 0 {
+		rp.Backoff = 5 * sim.Microsecond
+	}
+	if rp.MaxBackoff <= 0 {
+		rp.MaxBackoff = sim.Millisecond
+	}
+	if rp.Jitter == 0 {
+		rp.Jitter = 0.2
+	}
+}
+
+// IssueOption customizes one Issue call.
+type IssueOption func(*issueOpts)
+
+type issueOpts struct {
+	ack      bool
+	deadline sim.Time // budget from issue time; 0 = none
+	retry    *RetryPolicy
+}
+
+// WithBufferAck requests a server BufferAck and blocks Issue until the
+// key/value buffers are reusable (bset/bget semantics).
+func WithBufferAck() IssueOption {
+	return func(o *issueOpts) { o.ack = true }
+}
+
+// WithDeadline gives the request a completion budget of d virtual time from
+// issue. If no response arrives in time the request completes locally with
+// ErrDeadlineExceeded and its flow-control credit is reclaimed.
+func WithDeadline(d sim.Time) IssueOption {
+	return func(o *issueOpts) { o.deadline = d }
+}
+
+// WithRetry attaches a retransmission policy (see RetryPolicy). Combine
+// with WithDeadline to bound the total time across all attempts.
+func WithRetry(rp RetryPolicy) IssueOption {
+	return func(o *issueOpts) { o.retry = &rp }
+}
+
+// Issue starts one operation described by op, applying the given options,
+// and returns its handle. It is the single entry point behind
+// ISet/IGet/BSet/BGet; RDMA transport only (IPoIB keeps the blocking
+// socket API).
+func (c *Client) Issue(p *sim.Proc, op Op, opts ...IssueOption) (*Req, error) {
+	if c.cfg.Transport != RDMA {
+		return nil, ErrTransport
+	}
+	var o issueOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	cn := c.pick(op.Key)
+	p.Sleep(c.cfg.PrepCost)
+	req := c.newReq(op.Code, op.Key, cn)
+	req.txValueSize = op.ValueSize
+	req.txValue = op.Value
+	req.txFlags, req.txExpire = op.Flags, op.Expire
+	req.txCAS, req.txDelta = op.CAS, op.Delta
+	req.ackWanted = o.ack || c.cfg.AckWanted
+	c.enqueueWire(req, cn, c.wireFor(req, cn, req.ID))
+	c.Issued++
+	if o.deadline > 0 || o.retry != nil {
+		c.spawnGuard(req, o)
+	}
+	if o.ack {
+		p.Wait(req.reusable)
+	}
+	return req, nil
+}
+
+// wireFor builds the wire request for one attempt of req on cn.
+func (c *Client) wireFor(req *Req, cn *conn, id uint64) *protocol.Request {
+	return &protocol.Request{
+		Op: req.Op, ReqID: id, Key: req.Key,
+		Flags: req.txFlags, Expire: req.txExpire,
+		ValueSize: req.txValueSize, Value: req.txValue,
+		CAS: req.txCAS, Delta: req.txDelta,
+		RespMR:    cn.respMR.LKey(),
+		AckWanted: req.ackWanted,
+	}
+}
+
+// enqueueWire registers one attempt and hands its wire to cn's TX engine.
+// It does not touch c.Issued: retransmits are attempts, not operations.
+func (c *Client) enqueueWire(req *Req, cn *conn, wire *protocol.Request) *attempt {
+	att := &attempt{id: wire.ReqID, req: req, cn: cn}
+	req.cur = att
+	req.conn = cn
+	req.Attempts++
+	cn.pending[att.id] = att
+	cn.txq.TryPut(&txItem{wire: wire, att: att})
+	return att
+}
+
+// abandon detaches an attempt from its request: any credit it consumed is
+// reclaimed, and a response that still arrives for it is absorbed as stale
+// (the pending entry stays as a tombstone until then).
+func (c *Client) abandon(att *attempt) {
+	if att == nil || att.abandoned {
+		return
+	}
+	att.abandoned = true
+	if att.sent && !att.creditReturned {
+		att.creditReturned = true
+		att.cn.credits.Release()
+	}
+}
+
+// mayRetry reports whether retransmitting req is safe: Gets always; any
+// mutating opcode only while the server has not acknowledged holding it.
+func mayRetry(req *Req) bool {
+	return req.Op == protocol.OpGet || !req.acked
+}
+
+// expire completes req locally with a timeout outcome. Idempotent; a
+// response that races in first wins.
+func (c *Client) expire(req *Req) {
+	if req.done.Fired() {
+		return
+	}
+	req.timedOut = true
+	req.Status = protocol.StatusError
+	c.abandon(req.cur)
+	req.CompletedAt = c.env.Now()
+	c.Faults.Add("timeouts", 1)
+	req.done.Fire()
+	req.reusable.Fire()
+}
+
+// Cancel abandons an in-flight request: it completes immediately with
+// ErrCanceled, and any flow-control credit its current attempt holds is
+// returned. Canceling a completed request is a no-op.
+func (c *Client) Cancel(req *Req) {
+	if req.done.Fired() {
+		return
+	}
+	req.canceled = true
+	req.Status = protocol.StatusError
+	c.abandon(req.cur)
+	req.CompletedAt = c.env.Now()
+	c.Faults.Add("cancels", 1)
+	req.done.Fire()
+	req.reusable.Fire()
+}
+
+// retransmit abandons the current attempt and enqueues a fresh one, on the
+// next connection when failing over.
+func (c *Client) retransmit(p *sim.Proc, req *Req, failover bool) {
+	old := req.cur
+	c.abandon(old)
+	cn := old.cn
+	if failover && len(c.conns) > 1 {
+		cn = c.conns[(old.cn.serverID+1)%len(c.conns)]
+		c.Faults.Add("failovers", 1)
+	}
+	c.Faults.Add("retries", 1)
+	p.Sleep(c.cfg.PrepCost)
+	c.nextID++
+	c.enqueueWire(req, cn, c.wireFor(req, cn, c.nextID))
+}
+
+// spawnGuard starts the watchdog process for a request issued with a
+// deadline and/or retry policy.
+func (c *Client) spawnGuard(req *Req, o issueOpts) {
+	var deadline sim.Time
+	if o.deadline > 0 {
+		deadline = req.IssuedAt + o.deadline
+	}
+	name := fmt.Sprintf("client/guard%d", req.ID)
+	c.env.Spawn(name, func(p *sim.Proc) {
+		if o.retry == nil {
+			if !p.WaitTimeout(req.done, deadline-p.Now()) {
+				c.expire(req)
+			}
+			return
+		}
+		pol := *o.retry
+		pol.fill()
+		rng := rand.New(rand.NewSource(pol.Seed ^ int64(req.ID)*0x9e3779b9))
+		backoff := pol.Backoff
+		for {
+			wait := pol.AttemptTimeout
+			if deadline > 0 {
+				rem := deadline - p.Now()
+				if rem <= 0 {
+					c.expire(req)
+					return
+				}
+				if rem < wait {
+					wait = rem
+				}
+			}
+			if p.WaitTimeout(req.done, wait) {
+				return
+			}
+			if deadline > 0 && p.Now() >= deadline {
+				c.expire(req)
+				return
+			}
+			if req.Attempts >= pol.MaxAttempts || !mayRetry(req) {
+				c.expire(req)
+				return
+			}
+			d := backoff
+			if pol.Jitter > 0 {
+				d += sim.Time(float64(backoff) * pol.Jitter * rng.Float64())
+			}
+			backoff *= 2
+			if backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+			// Back off as a wait-on-done: a response landing during the
+			// backoff window ends the guard without a spurious retransmit.
+			if p.WaitTimeout(req.done, d) {
+				return
+			}
+			if deadline > 0 && p.Now() >= deadline {
+				c.expire(req)
+				return
+			}
+			c.retransmit(p, req, pol.Failover)
+		}
+	})
+}
+
+// txItem is one attempt's wire message queued for the TX engine.
+type txItem struct {
+	wire *protocol.Request
+	att  *attempt
+}
+
+// attempt is one transmission of a request. Retries create fresh attempts
+// with fresh ids; the per-attempt credit/abandon flags keep flow-control
+// accounting exact across races between responses, timeouts, and cancels.
+type attempt struct {
+	id             uint64
+	req            *Req
+	cn             *conn
+	sent           bool // credit consumed and wire handed to the NIC
+	creditReturned bool
+	abandoned      bool
+}
+
+// txEngine drains the issue queue: waits for a flow-control credit, posts
+// the WR, and fires the request's buffer-reusable event when the data has
+// left the NIC (red path of Figure 3). Abandoned attempts are skipped, and
+// their credit — if consumed — was already reclaimed by abandon.
+func (cn *conn) txEngine(p *sim.Proc) {
+	for {
+		item, ok := cn.txq.Get(p)
+		if !ok {
+			return
+		}
+		att := item.att
+		if att.abandoned {
+			delete(cn.pending, att.id) // never sent: no stale response can come
+			continue
+		}
+		cn.credits.Acquire(p)
+		if att.abandoned {
+			// Abandoned while waiting for a credit.
+			cn.credits.Release()
+			delete(cn.pending, att.id)
+			continue
+		}
+		att.sent = true
+		sent := cn.qp.PostSendReusable(p, verbs.SendWR{
+			WRID:    att.id,
+			Op:      verbs.OpSend,
+			Size:    item.wire.WireSize(),
+			Payload: item.wire,
+		})
+		// The NIC serializes messages in order; waiting for DMA-sent here
+		// pipelines exactly like the hardware send queue.
+		p.Wait(sent)
+		att.req.reusable.Fire()
+	}
+}
+
+// progressEngine polls the receive CQ: returns credits, lands values in the
+// user buffer, and fires completion flags (dark-green path of Figure 3).
+// Responses for unknown or abandoned attempts — duplicates, or answers that
+// lost a race with a deadline/cancel/retransmit — are absorbed as stale.
+func (cn *conn) progressEngine(p *sim.Proc) {
+	for {
+		comp := cn.recvCQ.WaitPoll(p)
+		cn.qp.PostRecv(verbs.RecvWR{}) // replenish the local pool
+		resp, ok := comp.Payload.(*protocol.Response)
+		if !ok {
+			panic("core: non-response payload on client receive CQ")
+		}
+		att := cn.pending[resp.ReqID]
+		if att == nil {
+			cn.c.Faults.Add("stale-responses", 1)
+			continue
+		}
+		req := att.req
+		switch resp.Op {
+		case protocol.OpBufferAck:
+			// Request is buffered server-side: buffers reusable, credit back.
+			if !att.creditReturned {
+				att.creditReturned = true
+				cn.credits.Release()
+			}
+			if !att.abandoned {
+				req.acked = true
+				req.reusable.Fire()
+			}
+		case protocol.OpResponse:
+			if !att.creditReturned {
+				att.creditReturned = true
+				cn.credits.Release()
+			}
+			delete(cn.pending, resp.ReqID)
+			if att.abandoned || req.done.Fired() {
+				cn.c.Faults.Add("stale-responses", 1)
+				continue
+			}
+			// Zero-copy: the value was RDMA-WRITten directly into the
+			// request's registered response buffer; no client copy.
+			req.Status = resp.Status
+			req.Value = resp.Value
+			req.ValueSize = resp.ValueSize
+			req.Flags = resp.Flags
+			req.CAS = resp.CAS
+			req.CompletedAt = p.Now()
+			req.done.Fire()
+			req.reusable.Fire()
+			cn.c.Completed++
+		default:
+			panic("core: unexpected opcode " + resp.Op.String())
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package fault provides deterministic fault injection for the simulated
+// cluster: probabilistic message drop / duplication / latency spikes on the
+// fabric, and scheduled link-down windows per node. An Injector plugs into
+// simnet.Fabric via SetFaults; every decision comes from a seeded RNG
+// consulted in delivery order, so faulted runs are exactly as reproducible
+// as fault-free ones.
+//
+// Server crash/restart schedules live in internal/server (ScheduleCrash) and
+// SSD I/O error injection in internal/blockdev (SetFaults); this package
+// covers the interconnect.
+package fault
+
+import (
+	"math/rand"
+
+	"hybridkv/internal/metrics"
+	"hybridkv/internal/sim"
+	"hybridkv/internal/simnet"
+)
+
+// Config sets the per-message fault probabilities.
+type Config struct {
+	// Seed drives the injector's RNG; equal seeds give equal fault
+	// sequences under the deterministic kernel.
+	Seed int64
+	// Drop is the probability a message is lost after serialization (the
+	// sender cannot tell; its Sent event still fires).
+	Drop float64
+	// Dup is the probability a message is delivered twice.
+	Dup float64
+	// Spike is the probability a message is delayed by SpikeDelay beyond
+	// normal propagation.
+	Spike float64
+	// SpikeDelay is the extra latency of a spiked message
+	// (default 100 µs).
+	SpikeDelay sim.Time
+}
+
+// Window is one link-down interval for a node: messages to or from the node
+// in [From, To) are dropped.
+type Window struct {
+	Node     string
+	From, To sim.Time
+}
+
+// Injector implements simnet.FaultInjector with seeded randomness.
+type Injector struct {
+	cfg     Config
+	rng     *rand.Rand
+	windows []Window
+
+	// Stats
+	Drops     int64 // random drops
+	Dups      int64
+	Spikes    int64
+	LinkDrops int64 // drops due to a link-down window
+}
+
+// New returns an injector for cfg.
+func New(cfg Config) *Injector {
+	if cfg.SpikeDelay <= 0 {
+		cfg.SpikeDelay = 100 * sim.Microsecond
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// AddLinkDown schedules a link-down window for node: traffic to or from it
+// in [from, to) is dropped.
+func (in *Injector) AddLinkDown(node string, from, to sim.Time) {
+	in.windows = append(in.windows, Window{Node: node, From: from, To: to})
+}
+
+// LinkDown reports whether node's link is down at time at.
+func (in *Injector) LinkDown(node string, at sim.Time) bool {
+	for _, w := range in.windows {
+		if w.Node == node && at >= w.From && at < w.To {
+			return true
+		}
+	}
+	return false
+}
+
+// Active reports whether the injector can affect any message at all. An
+// inactive injector never consults its RNG, so installing one with a zero
+// Config leaves the simulation bit-identical to having none.
+func (in *Injector) Active() bool {
+	return in.cfg.Drop > 0 || in.cfg.Dup > 0 || in.cfg.Spike > 0 || len(in.windows) > 0
+}
+
+// Transmit decides the fate of one message at serialization end.
+func (in *Injector) Transmit(src, dst string, size int, now sim.Time) simnet.Verdict {
+	var v simnet.Verdict
+	if !in.Active() {
+		return v
+	}
+	if in.LinkDown(src, now) || in.LinkDown(dst, now) {
+		in.LinkDrops++
+		v.Drop = true
+		return v
+	}
+	if in.cfg.Drop > 0 && in.rng.Float64() < in.cfg.Drop {
+		in.Drops++
+		v.Drop = true
+		return v
+	}
+	if in.cfg.Dup > 0 && in.rng.Float64() < in.cfg.Dup {
+		in.Dups++
+		v.Duplicate = true
+	}
+	if in.cfg.Spike > 0 && in.rng.Float64() < in.cfg.Spike {
+		in.Spikes++
+		v.ExtraDelay = in.cfg.SpikeDelay
+	}
+	return v
+}
+
+// Counters exports the injector's statistics as named counters.
+func (in *Injector) Counters() *metrics.Counters {
+	c := metrics.NewCounters()
+	c.Add("net-drops", in.Drops)
+	c.Add("net-dups", in.Dups)
+	c.Add("net-spikes", in.Spikes)
+	c.Add("net-link-drops", in.LinkDrops)
+	return c
+}

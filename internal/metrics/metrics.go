@@ -216,6 +216,59 @@ func (b *Breakdown) Render(n int64) string {
 	return sb.String()
 }
 
+// Counters is a named-counter bag for fault, retry, and availability
+// accounting. The zero value is not usable; call NewCounters.
+type Counters struct {
+	vals map[string]int64
+}
+
+// NewCounters returns an empty counter bag.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]int64)}
+}
+
+// Add increments the named counter by n.
+func (c *Counters) Add(name string, n int64) { c.vals[name] += n }
+
+// Get returns the named counter (0 if never touched).
+func (c *Counters) Get(name string) int64 { return c.vals[name] }
+
+// Names returns the touched counter names in sorted order.
+func (c *Counters) Names() []string {
+	out := make([]string, 0, len(c.vals))
+	for k := range c.vals {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge folds other's counters into c.
+func (c *Counters) Merge(other *Counters) {
+	for k, v := range other.vals {
+		c.vals[k] += v
+	}
+}
+
+// Snapshot returns an independent copy.
+func (c *Counters) Snapshot() *Counters {
+	s := NewCounters()
+	s.Merge(c)
+	return s
+}
+
+// Render formats the non-zero counters one per line, sorted by name.
+func (c *Counters) Render() string {
+	var sb strings.Builder
+	for _, k := range c.Names() {
+		if c.vals[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-22s %12d\n", k, c.vals[k])
+	}
+	return sb.String()
+}
+
 // Throughput returns operations per (virtual) second.
 func Throughput(ops int64, elapsed sim.Time) float64 {
 	if elapsed <= 0 {

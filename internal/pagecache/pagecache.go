@@ -196,6 +196,11 @@ func (f *File) Write(p *sim.Proc, off int64, size int, payload any, scheme Schem
 		p.Sleep(c.par.SyscallCost)
 		c.dev.ServeRaw(p, true, size)
 		c.dev.Barrier(p)
+		if c.dev.InjectWriteError() {
+			// Failed program: the extent keeps its old contents (or stays
+			// absent), which a later Read surfaces as ok=false.
+			return
+		}
 	case Cached:
 		p.Sleep(c.par.SyscallCost)
 		p.Sleep(c.memcpyTime(size))
@@ -225,10 +230,12 @@ func (f *File) Write(p *sim.Proc, off int64, size int, payload any, scheme Schem
 func (f *File) Read(p *sim.Proc, off int64, size int, scheme Scheme) (payload any, ok bool) {
 	f.check(off, size)
 	c := f.c
+	touchedDev := false
 	switch scheme {
 	case Direct:
 		p.Sleep(c.par.SyscallCost)
 		c.dev.ServeRaw(p, false, size)
+		touchedDev = true
 	case Cached:
 		p.Sleep(c.par.SyscallCost)
 		missBytes := f.missBytes(off, size)
@@ -236,6 +243,7 @@ func (f *File) Read(p *sim.Proc, off int64, size int, scheme Scheme) (payload an
 			c.Misses++
 			ra := c.par.ReadAheadPages * c.par.PageSize
 			c.dev.ServeRaw(p, false, missBytes+ra)
+			touchedDev = true
 			f.residentRange(p, off, size, false)
 			// Read-ahead pages become resident beyond the request.
 			f.residentRange(p, min64(off+int64(size), f.size-1), int(min64(int64(ra), f.size-(off+int64(size)))), false)
@@ -272,12 +280,18 @@ func (f *File) Read(p *sim.Proc, off int64, size int, scheme Scheme) (payload an
 		if faulted > 0 {
 			c.Faults += faulted
 			c.Misses++
+			touchedDev = true
 			f.residentRange(p, off, size, false)
 		} else {
 			c.Hits++
 		}
 		p.Sleep(c.memcpyTime(size))
 		f.touchRange(off, size)
+	}
+	if touchedDev && c.dev.InjectReadError() {
+		// Uncorrectable media read on the device command that backed this
+		// request: surface it as missing contents.
+		return nil, false
 	}
 	e, ok := f.extents[off]
 	if !ok {

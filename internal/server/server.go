@@ -120,10 +120,14 @@ type Server struct {
 	reqQ  *sim.Queue[task]
 
 	started bool
+	down    bool
 
 	// Stats
 	Requests int64
 	Acks     int64
+	// Discarded counts requests dropped because they arrived (or finished a
+	// storage phase) while the server was crashed.
+	Discarded int64
 }
 
 type rdmaConn struct {
@@ -217,6 +221,29 @@ func (s *Server) Start() {
 	}
 }
 
+// Down reports whether the server is currently crashed.
+func (s *Server) Down() bool { return s.down }
+
+// Crash fails the server process: from now until Restart, every request is
+// discarded without a response. The fabric and NIC stay up (receives are
+// re-posted so retried requests don't overflow the QP), and the store keeps
+// its contents — this models a process wedge / fail-stop with warm restart,
+// the case clients must survive via deadlines and failover.
+func (s *Server) Crash() { s.down = true }
+
+// Restart brings a crashed server back. Requests arriving from now on are
+// served normally against the intact store.
+func (s *Server) Restart() { s.down = false }
+
+// ScheduleCrash arranges a crash at from and a restart at to (virtual time).
+func (s *Server) ScheduleCrash(from, to sim.Time) {
+	if to <= from {
+		panic("server: ScheduleCrash window must have to > from")
+	}
+	s.env.At(from, s.cfg.Name+"/crash", func(p *sim.Proc) { s.Crash() })
+	s.env.At(to, s.cfg.Name+"/restart", func(p *sim.Proc) { s.Restart() })
+}
+
 // rdmaDispatcher drains the shared receive CQ.
 func (s *Server) rdmaDispatcher(p *sim.Proc) {
 	for {
@@ -229,6 +256,15 @@ func (s *Server) rdmaDispatcher(p *sim.Proc) {
 		if conn == nil {
 			panic(fmt.Sprintf("server: completion for unknown QP %d", c.QPN))
 		}
+		if s.down {
+			// Crashed: swallow the request. Re-post the receive so retried
+			// requests don't hit receiver-not-ready, but never respond — the
+			// client's credit is stranded until its deadline machinery
+			// reclaims it.
+			s.Discarded++
+			conn.qp.PostRecv(verbs.RecvWR{})
+			continue
+		}
 		p.Sleep(s.cfg.ParseCost)
 		s.Requests++
 		if s.cfg.Pipeline == Sync {
@@ -236,6 +272,13 @@ func (s *Server) rdmaDispatcher(p *sim.Proc) {
 			// request finishes (the client's credit comes back with the
 			// response).
 			resp := s.st.Handle(p, req)
+			if s.down {
+				// Crashed mid-storage-phase (e.g. during a hybrid eviction):
+				// the response is lost with the process.
+				s.Discarded++
+				conn.qp.PostRecv(verbs.RecvWR{})
+				continue
+			}
 			s.respond(p, conn, req, resp)
 			conn.qp.PostRecv(verbs.RecvWR{})
 			continue
@@ -259,7 +302,18 @@ func (s *Server) storageWorker(p *sim.Proc) {
 		if !ok {
 			return
 		}
+		if s.down {
+			s.Discarded++
+			s.slots.ReleaseN(t.req.WireSize())
+			continue
+		}
 		resp := s.st.Handle(p, t.req)
+		if s.down {
+			// Crashed mid-storage-phase: drop the finished work.
+			s.Discarded++
+			s.slots.ReleaseN(t.req.WireSize())
+			continue
+		}
 		s.respond(p, t.conn, t.req, resp)
 		s.slots.ReleaseN(t.req.WireSize())
 	}
@@ -325,9 +379,17 @@ func (s *Server) ipoibHandler(p *sim.Proc, stream *verbs.Stream) {
 		if !okReq {
 			panic("server: non-request payload on IPoIB stream")
 		}
+		if s.down {
+			s.Discarded++
+			continue
+		}
 		p.Sleep(s.cfg.ParseCost)
 		s.Requests++
 		resp := s.st.Handle(p, req)
+		if s.down {
+			s.Discarded++
+			continue
+		}
 		t0 := p.Now()
 		p.Sleep(memcpyTime(resp.ValueSize))
 		stream.Send(p, resp.WireSize(), resp)

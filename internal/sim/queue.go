@@ -121,6 +121,40 @@ func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
 	return v, true
 }
 
+// GetTimeout is Get bounded by d of virtual time: it returns the head item
+// (ok=true), queue closure (ok=false, timedOut=false), or expiry of the
+// timeout with nothing received (timedOut=true). d ≤ 0 with an empty queue
+// times out immediately.
+func (q *Queue[T]) GetTimeout(p *Proc, d Time) (v T, ok bool, timedOut bool) {
+	if v, ok = q.TryGet(); ok {
+		return v, true, false
+	}
+	if q.closed {
+		return v, false, false
+	}
+	if d <= 0 {
+		return v, false, true
+	}
+	w := q.env.pendingWakeup(p, tagEvent)
+	q.getters = append(q.getters, &qwaiter[T]{w: w, p: p})
+	q.env.scheduleWakeup(q.env.now+d, p, tagTimeout)
+	if p.park() == tagTimeout {
+		// The getter wakeup was canceled by delivery of the timeout;
+		// popGetter skips canceled waiters, so no item can be handed to us.
+		return v, false, true
+	}
+	if p.xfer == closedSentinel {
+		p.xfer = nil
+		if v, ok = q.TryGet(); ok {
+			return v, true, false
+		}
+		return v, false, false
+	}
+	v = p.xfer.(T)
+	p.xfer = nil
+	return v, true, false
+}
+
 // closedSentinel marks a getter wakeup caused by Close rather than a value
 // handoff.
 var closedSentinel = new(int)

@@ -101,15 +101,37 @@ type Outgoing struct {
 	Delivered *sim.Event
 }
 
+// Verdict is a fault injector's decision about one message.
+type Verdict struct {
+	// Drop loses the message after serialization: the sender's Sent event
+	// still fires (it cannot tell), but no delivery happens.
+	Drop bool
+	// Duplicate delivers the message a second time shortly after the first.
+	Duplicate bool
+	// ExtraDelay postpones delivery beyond normal propagation (a latency
+	// spike).
+	ExtraDelay sim.Time
+}
+
+// FaultInjector is consulted once per message at serialization end.
+// internal/fault provides the standard seeded implementation.
+type FaultInjector interface {
+	Transmit(src, dst string, size int, now sim.Time) Verdict
+}
+
 // Fabric is the switch plus its attached nodes.
 type Fabric struct {
-	env   *sim.Env
-	spec  LinkSpec
-	nodes map[string]*Node
+	env    *sim.Env
+	spec   LinkSpec
+	nodes  map[string]*Node
+	faults FaultInjector
 
 	// Stats
 	MsgCount  int64
 	ByteCount int64
+	// Dropped counts messages lost to fault injection (random drops plus
+	// link-down windows).
+	Dropped int64
 }
 
 // New creates a fabric on env with the given default link spec.
@@ -122,6 +144,10 @@ func (f *Fabric) Env() *sim.Env { return f.env }
 
 // Spec returns the fabric's link spec.
 func (f *Fabric) Spec() LinkSpec { return f.spec }
+
+// SetFaults installs (or, with nil, removes) a fault injector. Safe to call
+// between phases of a run; it affects messages serialized from then on.
+func (f *Fabric) SetFaults(fi FaultInjector) { f.faults = fi }
 
 // Node returns the named node, or nil.
 func (f *Fabric) Node(name string) *Node { return f.nodes[name] }
@@ -186,14 +212,30 @@ func (n *Node) txEngine(p *sim.Proc) {
 		}
 		deliverAt := p.Now() + f.spec.PropDelay + f.spec.RecvCPU
 		msg, out := om.msg, om.out
-		f.env.SpawnAt(deliverAt, "deliver:"+dst.name, func(dp *sim.Proc) {
-			dst.RxBytes += int64(msg.Size)
-			dst.RxMsgs++
-			out.Delivered.Fire()
-			if dst.receiver != nil {
-				dst.receiver(msg)
+		copies := 1
+		if f.faults != nil {
+			v := f.faults.Transmit(msg.Src, msg.Dst, msg.Size, p.Now())
+			if v.Drop {
+				f.Dropped++
+				continue
 			}
-		})
+			deliverAt += v.ExtraDelay
+			if v.Duplicate {
+				copies = 2
+			}
+		}
+		for i := 0; i < copies; i++ {
+			// A duplicate trails the original by one receiver-CPU slot.
+			at := deliverAt + sim.Time(i)*f.spec.RecvCPU
+			f.env.SpawnAt(at, "deliver:"+dst.name, func(dp *sim.Proc) {
+				dst.RxBytes += int64(msg.Size)
+				dst.RxMsgs++
+				out.Delivered.Fire()
+				if dst.receiver != nil {
+					dst.receiver(msg)
+				}
+			})
+		}
 	}
 }
 

@@ -108,6 +108,12 @@ func (s *Stream) Recv(p *sim.Proc) (StreamMsg, bool) {
 	return s.inbox.Get(p)
 }
 
+// RecvTimeout is Recv bounded by d of virtual time (SO_RCVTIMEO semantics).
+// timedOut=true means nothing arrived before the deadline.
+func (s *Stream) RecvTimeout(p *sim.Proc, d sim.Time) (msg StreamMsg, ok bool, timedOut bool) {
+	return s.inbox.GetTimeout(p, d)
+}
+
 // TryRecv returns a pending message without blocking.
 func (s *Stream) TryRecv() (StreamMsg, bool) {
 	return s.inbox.TryGet()
