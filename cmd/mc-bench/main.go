@@ -23,6 +23,16 @@ import (
 	"hybridkv/internal/bench"
 )
 
+// writeJSON dumps every run experiment's metric records to path.
+func writeJSON(path string, results []*bench.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return bench.WriteJSON(f, results)
+}
+
 // writeCSV dumps one experiment's tables to <dir>/<id>.csv.
 func writeCSV(dir string, r *bench.Result) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -42,6 +52,7 @@ func main() {
 	ops := flag.Int("ops", 0, "override the measured operation count")
 	smoke := flag.Bool("smoke", false, "run every registered experiment at a tiny operation count (registry smoke test)")
 	csvDir := flag.String("csv", "", "also write each experiment's tables as CSV into this directory")
+	jsonPath := flag.String("json", "", "also write every run experiment's metrics as JSON records to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mc-bench [-list] [-full] [-ops N] [-smoke] <experiment-id>... | all\n\n")
 		flag.PrintDefaults()
@@ -76,6 +87,7 @@ func main() {
 		ids = args
 	}
 	exit := 0
+	var results []*bench.Result
 	for _, id := range ids {
 		e := bench.ByID(id)
 		if e == nil {
@@ -85,12 +97,19 @@ func main() {
 		}
 		t0 := time.Now()
 		r := e.Run(opts)
+		results = append(results, r)
 		fmt.Printf("==> %s — %s   [%v wall]\n%s\n", r.ID, e.Title, time.Since(t0).Round(time.Millisecond), r.Output)
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, r); err != nil {
 				fmt.Fprintf(os.Stderr, "mc-bench: csv: %v\n", err)
 				exit = 1
 			}
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, results); err != nil {
+			fmt.Fprintf(os.Stderr, "mc-bench: json: %v\n", err)
+			exit = 1
 		}
 	}
 	os.Exit(exit)

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+
+	"hybridkv/internal/cluster"
+)
+
+// MetricRecord is one machine-readable result row: experiment id, the design
+// the metric belongs to (empty for cross-design metrics), the metric key
+// with the design prefix stripped, and its value. BENCH_*.json files hold a
+// sorted array of these so perf trajectories diff cleanly across commits.
+type MetricRecord struct {
+	Experiment string  `json:"experiment"`
+	Design     string  `json:"design,omitempty"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+}
+
+// Records flattens results into sorted metric records, splitting the leading
+// design name off each metric key when one matches.
+func Records(results []*Result) []MetricRecord {
+	var out []MetricRecord
+	for _, r := range results {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			rec := MetricRecord{Experiment: r.ID, Metric: k, Value: r.Metrics[k]}
+			for _, d := range cluster.Designs {
+				if pre := d.String() + "."; strings.HasPrefix(k, pre) {
+					rec.Design = d.String()
+					rec.Metric = strings.TrimPrefix(k, pre)
+					break
+				}
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// WriteJSON emits the results' metric records as an indented JSON array.
+func WriteJSON(w io.Writer, results []*Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(Records(results))
+}

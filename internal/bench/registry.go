@@ -29,6 +29,7 @@ var Registry = []Experiment{
 	{"fig8a", "SATA vs NVMe, read-only and write-heavy", fig8a},
 	{"fig8b", "Bursty block I/O workload", fig8b},
 	{"faults", "Degraded mode: tail latency and goodput under a fault schedule", faultsExp},
+	{"batching", "Doorbell batching: batch size sweep over every design", batchingExp},
 }
 
 // ByID finds an experiment, or nil.

@@ -134,6 +134,9 @@ type Config struct {
 	BufferBytes    int
 	// AdaptiveCutoff overrides the mmap/cached class boundary.
 	AdaptiveCutoff int
+	// SlabPageSize overrides the slab page size (0 = 1 MB). Smaller pages
+	// give finer eviction granularity — more, smaller SSD flushes.
+	SlabPageSize int
 	// AsyncFlush enables write-behind eviction (paper future work).
 	AsyncFlush bool
 	// Client seeds every client's core.Config (timeout/retry knobs for
@@ -203,7 +206,7 @@ func New(cfg Config) *Cluster {
 			cl.Caches = append(cl.Caches, cache)
 		}
 		mgr := hybridslab.New(env, hybridslab.Config{
-			Slab:           slab.Config{MemLimit: cfg.ServerMem},
+			Slab:           slab.Config{MemLimit: cfg.ServerMem, PageSize: cfg.SlabPageSize},
 			Policy:         cfg.Design.Policy(),
 			AdaptiveCutoff: cfg.AdaptiveCutoff,
 			SSDCapacity:    cfg.SSDCapacity,

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"hybridkv/internal/protocol"
+	"hybridkv/internal/sim"
+	"hybridkv/internal/verbs"
+)
+
+// Doorbell batching (RFP-style coalescing): operations that pile up while a
+// connection's send credits are exhausted, or that are issued inside an
+// explicit BeginBatch/Flush window, are merged per connection into a single
+// BatchFrame — one doorbell, one wire send, one flow-control credit, and one
+// server receive-repost for N operations. Responses are untouched: each
+// member keeps its own request id and registered response slot, so the
+// server still scatters one response per op.
+
+const (
+	// MaxBatchOps caps the operations coalesced into one BatchFrame.
+	MaxBatchOps = 64
+	// BatchInlineMax is the largest value carried inline in a frame;
+	// bigger stores are posted as their own doorbell so one fat value
+	// cannot stall a frame of small ops behind its DMA.
+	BatchInlineMax = 64 << 10
+)
+
+// txBatch is the client-side record of one coalesced frame in flight. The
+// whole frame consumed a single flow-control credit; the record arbitrates
+// who returns it across batch acks, member responses, and per-op
+// deadline/cancel tombstones.
+type txBatch struct {
+	id             uint64
+	cn             *conn
+	members        []*attempt
+	live           int // members not yet responded or abandoned
+	sent           bool
+	creditReturned bool
+}
+
+// returnCredit releases the frame's single credit, exactly once.
+func (b *txBatch) returnCredit() {
+	if b.sent && !b.creditReturned {
+		b.creditReturned = true
+		b.cn.credits.Release()
+	}
+}
+
+// resolveOne marks one member settled. When the last member settles the
+// credit is reclaimed (if no response or ack beat us to it) and the batch
+// record is dropped.
+func (b *txBatch) resolveOne() {
+	b.live--
+	if b.live <= 0 {
+		b.returnCredit()
+		delete(b.cn.pendingBatch, b.id)
+	}
+}
+
+// resolve settles a batched attempt's slot, idempotently; no-op for
+// unbatched attempts.
+func (att *attempt) resolve() {
+	if att.batch == nil || att.resolved {
+		return
+	}
+	att.resolved = true
+	att.batch.resolveOne()
+}
+
+// BeginBatch opens an explicit coalescing window: subsequent Issue calls on
+// this client park their wire messages per connection instead of posting
+// them, and Flush pushes each connection's parked ops out as one BatchFrame
+// per doorbell. Windows nest; only the outermost Flush sends.
+//
+// Inside a window, WithBufferAck does not block Issue (nothing is on the
+// wire yet): the buffers become reusable after Flush, at DMA-sent time or —
+// against an async server — at the single batch-wide BufferAck. RDMA
+// transport only; on IPoIB use SetBuffering, the classic libmemcached mode.
+func (c *Client) BeginBatch() error {
+	if c.cfg.Transport != RDMA {
+		return ErrTransport
+	}
+	c.batching++
+	return nil
+}
+
+// Flush closes the innermost batch window. Closing the outermost window
+// hands every connection's parked operations to its TX engine: values up to
+// BatchInlineMax ride inline in coalesced frames of at most MaxBatchOps;
+// larger stores are posted as individual doorbells. Flush does not wait for
+// completions — use Wait/WaitAll as usual. Flushing with no open window is
+// a no-op.
+func (c *Client) Flush(p *sim.Proc) error {
+	if c.cfg.Transport != RDMA {
+		return ErrTransport
+	}
+	if c.batching == 0 {
+		return nil
+	}
+	c.batching--
+	if c.batching > 0 {
+		return nil
+	}
+	for _, cn := range c.conns {
+		if len(cn.window) == 0 {
+			continue
+		}
+		items := cn.window
+		cn.window = nil
+		var inline, alone []*txItem
+		for _, it := range items {
+			if it.att.abandoned {
+				delete(cn.pending, it.att.id)
+				continue
+			}
+			if it.wire.ValueSize > BatchInlineMax {
+				alone = append(alone, it)
+			} else {
+				inline = append(inline, it)
+			}
+		}
+		for len(inline) > 0 {
+			n := len(inline)
+			if n > MaxBatchOps {
+				n = MaxBatchOps
+			}
+			chunk := inline[:n]
+			inline = inline[n:]
+			if n == 1 {
+				cn.txq.TryPut(chunk[0])
+			} else {
+				cn.txq.TryPut(&txItem{frame: chunk})
+			}
+		}
+		for _, it := range alone {
+			cn.txq.TryPut(it)
+		}
+	}
+	return nil
+}
+
+// liveItems filters abandoned members out of a frame, tombstoning their
+// never-sent pending entries.
+func (cn *conn) liveItems(items []*txItem) []*txItem {
+	out := items[:0]
+	for _, it := range items {
+		if it.att.abandoned {
+			delete(cn.pending, it.att.id)
+			continue
+		}
+		out = append(out, it)
+	}
+	return out
+}
+
+// drainBatch pulls whatever queued up behind the head item into one frame,
+// up to MaxBatchOps, skipping abandoned attempts and flattening any explicit
+// frames encountered. Oversized values are left to their own doorbells.
+func (cn *conn) drainBatch(head *txItem) (batch, alone []*txItem) {
+	batch = []*txItem{head}
+	for len(batch) < MaxBatchOps {
+		next, ok := cn.txq.TryGet()
+		if !ok {
+			break
+		}
+		if next.frame != nil {
+			batch = append(batch, cn.liveItems(next.frame)...)
+			continue
+		}
+		if next.att.abandoned {
+			delete(cn.pending, next.att.id)
+			continue
+		}
+		if next.wire.ValueSize > BatchInlineMax {
+			alone = append(alone, next)
+			continue
+		}
+		batch = append(batch, next)
+	}
+	return batch, alone
+}
+
+// postBatch sends one coalesced frame. The caller already holds the frame's
+// single credit. Buffer-reusable events for every member fire at DMA-sent,
+// exactly as for a single op.
+func (cn *conn) postBatch(p *sim.Proc, items []*txItem) {
+	c := cn.c
+	c.nextID++
+	frame := &protocol.BatchFrame{BatchID: c.nextID}
+	b := &txBatch{id: frame.BatchID, cn: cn, live: len(items), sent: true}
+	for _, it := range items {
+		frame.Reqs = append(frame.Reqs, it.wire)
+		it.att.sent = true
+		it.att.batch = b
+		b.members = append(b.members, it.att)
+		if it.att.req.ackWanted {
+			frame.AckWanted = true
+		}
+	}
+	cn.pendingBatch[b.id] = b
+	c.Sends++
+	c.Frames++
+	c.FrameOps += int64(len(items))
+	sent := cn.qp.PostSendReusable(p, verbs.SendWR{
+		WRID:    b.id,
+		Op:      verbs.OpSend,
+		Size:    frame.WireSize(),
+		Payload: frame,
+	})
+	p.Wait(sent)
+	for _, it := range items {
+		it.att.req.reusable.Fire()
+	}
+}
+
+// batchAcked handles the server's single early BufferAck covering a whole
+// frame: the shared credit comes back and every live member is marked
+// buffered server-side (so stores are not retransmitted) with its buffers
+// reusable.
+func (cn *conn) batchAcked(b *txBatch) {
+	b.returnCredit()
+	for _, att := range b.members {
+		if att.abandoned || att.req.done.Fired() {
+			continue
+		}
+		att.req.acked = true
+		att.req.reusable.Fire()
+	}
+}

@@ -75,8 +75,10 @@ func (c *Client) FlushBuffers(p *sim.Proc) {
 	}
 }
 
-// flushConn drains one connection's queue: all queued Sets go out
-// back-to-back, then their responses are awaited in order.
+// flushConn drains one connection's queue: the queued Sets leave as one
+// vectored BatchFrame — a single kernel send (writev) instead of one syscall
+// and stream message per op — then their responses are awaited in order. A
+// queue of one skips the frame overhead and sends the bare request.
 func (c *Client) flushConn(p *sim.Proc, cn *conn) {
 	if len(cn.buffered) == 0 {
 		return
@@ -84,8 +86,15 @@ func (c *Client) flushConn(p *sim.Proc, cn *conn) {
 	batch := cn.buffered
 	cn.buffered = nil
 	t0 := p.Now()
-	for _, wire := range batch {
-		cn.stream.Send(p, wire.WireSize(), wire)
+	c.Sends++
+	if len(batch) == 1 {
+		cn.stream.Send(p, batch[0].WireSize(), batch[0])
+	} else {
+		c.nextID++
+		frame := &protocol.BatchFrame{BatchID: c.nextID, Reqs: batch}
+		c.Frames++
+		c.FrameOps += int64(len(batch))
+		cn.stream.Send(p, frame.WireSize(), frame)
 	}
 	for range batch {
 		msg, ok := cn.stream.Recv(p)

@@ -159,6 +159,10 @@ func (r *Req) TimedOut() bool { return r.timedOut }
 // Canceled reports whether the operation was abandoned by Cancel.
 func (r *Req) Canceled() bool { return r.canceled }
 
+// Acked reports whether the server acknowledged buffering the request (a
+// BufferAck arrived, individually or covering the request's whole batch).
+func (r *Req) Acked() bool { return r.acked }
+
 // Client is the libmemcached handle (memcached_st analog).
 type Client struct {
 	env *sim.Env
@@ -175,6 +179,7 @@ type Client struct {
 	ring      *ring
 	nextID    uint64
 	buffering bool
+	batching  int // explicit BeginBatch/Flush window depth
 
 	// Prof accumulates the client-side stages (client wait, miss penalty
 	// is recorded by the workload driver).
@@ -186,19 +191,25 @@ type Client struct {
 
 	// Stats
 	Issued, Completed int64
+	// Doorbell accounting: Sends counts wire sends — also the flow-control
+	// credits consumed; Frames counts coalesced BatchFrames among them and
+	// FrameOps the operations those frames carried.
+	Sends, Frames, FrameOps int64
 }
 
 type conn struct {
 	c        *Client
 	serverID int
 	// RDMA state
-	qp      *verbs.QP
-	sendCQ  *verbs.CQ
-	recvCQ  *verbs.CQ
-	respMR  *verbs.MR
-	credits *sim.Resource
-	txq     *sim.Queue[*txItem]
-	pending map[uint64]*attempt
+	qp           *verbs.QP
+	sendCQ       *verbs.CQ
+	recvCQ       *verbs.CQ
+	respMR       *verbs.MR
+	credits      *sim.Resource
+	txq          *sim.Queue[*txItem]
+	pending      map[uint64]*attempt
+	pendingBatch map[uint64]*txBatch // in-flight coalesced frames by batch id
+	window       []*txItem           // ops parked by an open BeginBatch window
 	// IPoIB state
 	stream   *verbs.Stream
 	buffered []*protocol.Request // libmemcached-style deferred Sets
@@ -247,15 +258,16 @@ func (c *Client) ConnectRDMA(srv RDMAServer) {
 	recvCQ := c.dev.CreateCQ(0)
 	qp := c.dev.CreateQP(sendCQ, recvCQ)
 	cn := &conn{
-		c:        c,
-		serverID: len(c.conns),
-		qp:       qp,
-		sendCQ:   sendCQ,
-		recvCQ:   recvCQ,
-		respMR:   c.pd.RegisterMRSetup(c.cfg.MaxValue),
-		credits:  sim.NewResource(c.env, srv.RecvDepth()),
-		txq:      sim.NewQueue[*txItem](c.env, 0),
-		pending:  make(map[uint64]*attempt),
+		c:            c,
+		serverID:     len(c.conns),
+		qp:           qp,
+		sendCQ:       sendCQ,
+		recvCQ:       recvCQ,
+		respMR:       c.pd.RegisterMRSetup(c.cfg.MaxValue),
+		credits:      sim.NewResource(c.env, srv.RecvDepth()),
+		txq:          sim.NewQueue[*txItem](c.env, 0),
+		pending:      make(map[uint64]*attempt),
+		pendingBatch: make(map[uint64]*txBatch),
 	}
 	srv.AcceptQP(qp)
 	// The client consumes one local receive per inbound WRITE_IMM; keep a
@@ -483,6 +495,7 @@ func (c *Client) ipoibRoundTrip(p *sim.Proc, op protocol.Opcode, key string, val
 // API and the command helpers.
 func (c *Client) ipoibExchange(p *sim.Proc, cn *conn, req *Req, wire *protocol.Request) {
 	req.Attempts = 1
+	c.Sends++
 	cn.stream.Send(p, wire.WireSize(), wire)
 	t0 := p.Now()
 	for {
@@ -497,6 +510,7 @@ func (c *Client) ipoibExchange(p *sim.Proc, cn *conn, req *Req, wire *protocol.R
 			if req.Attempts <= c.cfg.RecvRetries {
 				req.Attempts++
 				c.Faults.Add("retries", 1)
+				c.Sends++
 				cn.stream.Send(p, wire.WireSize(), wire)
 				continue
 			}

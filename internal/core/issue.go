@@ -129,7 +129,10 @@ func (c *Client) Issue(p *sim.Proc, op Op, opts ...IssueOption) (*Req, error) {
 	if o.deadline > 0 || o.retry != nil {
 		c.spawnGuard(req, o)
 	}
-	if o.ack {
+	// Inside an explicit batch window nothing is on the wire yet, so
+	// WithBufferAck cannot block here; the buffers become reusable after
+	// Flush (see BeginBatch).
+	if o.ack && c.batching == 0 {
 		p.Wait(req.reusable)
 	}
 	return req, nil
@@ -147,15 +150,24 @@ func (c *Client) wireFor(req *Req, cn *conn, id uint64) *protocol.Request {
 	}
 }
 
-// enqueueWire registers one attempt and hands its wire to cn's TX engine.
-// It does not touch c.Issued: retransmits are attempts, not operations.
+// enqueueWire registers one attempt and hands its wire to cn's TX engine —
+// or parks it in the connection's batch window when one is open (first
+// attempts only: retransmits always go straight out, a stalled window must
+// not delay recovery). It does not touch c.Issued: retransmits are
+// attempts, not operations.
 func (c *Client) enqueueWire(req *Req, cn *conn, wire *protocol.Request) *attempt {
 	att := &attempt{id: wire.ReqID, req: req, cn: cn}
 	req.cur = att
 	req.conn = cn
+	first := req.Attempts == 0
 	req.Attempts++
 	cn.pending[att.id] = att
-	cn.txq.TryPut(&txItem{wire: wire, att: att})
+	it := &txItem{wire: wire, att: att}
+	if first && c.batching > 0 {
+		cn.window = append(cn.window, it)
+	} else {
+		cn.txq.TryPut(it)
+	}
 	return att
 }
 
@@ -167,6 +179,13 @@ func (c *Client) abandon(att *attempt) {
 		return
 	}
 	att.abandoned = true
+	if att.batch != nil {
+		// Tombstone one slot inside a coalesced frame: siblings keep
+		// flying; the frame's single credit comes back when the last
+		// member resolves (or earlier, via the batch ack / first response).
+		att.resolve()
+		return
+	}
 	if att.sent && !att.creditReturned {
 		att.creditReturned = true
 		att.cn.credits.Release()
@@ -290,10 +309,12 @@ func (c *Client) spawnGuard(req *Req, o issueOpts) {
 	})
 }
 
-// txItem is one attempt's wire message queued for the TX engine.
+// txItem is one attempt's wire message queued for the TX engine — or, when
+// frame is set, a pre-built explicit batch window handed over by Flush.
 type txItem struct {
-	wire *protocol.Request
-	att  *attempt
+	wire  *protocol.Request
+	att   *attempt
+	frame []*txItem
 }
 
 // attempt is one transmission of a request. Retries create fresh attempts
@@ -306,21 +327,55 @@ type attempt struct {
 	sent           bool // credit consumed and wire handed to the NIC
 	creditReturned bool
 	abandoned      bool
+	// batch is non-nil once this attempt was coalesced into a doorbell
+	// batch; credit accounting then runs through the shared record (the
+	// whole frame consumed one credit). resolved guards the one slot this
+	// attempt settles in it.
+	batch    *txBatch
+	resolved bool
+}
+
+// creditBack returns the flow-control credit this attempt consumed, exactly
+// once. A batched attempt shares one credit with its whole frame, so the
+// first member to hear from the server returns it for everyone.
+func (att *attempt) creditBack() {
+	if b := att.batch; b != nil {
+		b.returnCredit()
+		return
+	}
+	if att.sent && !att.creditReturned {
+		att.creditReturned = true
+		att.cn.credits.Release()
+	}
 }
 
 // txEngine drains the issue queue: waits for a flow-control credit, posts
 // the WR, and fires the request's buffer-reusable event when the data has
 // left the NIC (red path of Figure 3). Abandoned attempts are skipped, and
 // their credit — if consumed — was already reclaimed by abandon.
+//
+// When a credit is free the engine sends one op per doorbell, exactly as
+// before batching existed. Only when credits are exhausted — the moment the
+// per-op cost actually hurts — does it block for one credit and then sweep
+// everything that queued up behind it into a single coalesced BatchFrame.
+// Explicit Flush frames arrive pre-built and take the same send path.
 func (cn *conn) txEngine(p *sim.Proc) {
 	for {
 		item, ok := cn.txq.Get(p)
 		if !ok {
 			return
 		}
+		if item.frame != nil {
+			cn.sendFrame(p, item.frame)
+			continue
+		}
 		att := item.att
 		if att.abandoned {
 			delete(cn.pending, att.id) // never sent: no stale response can come
+			continue
+		}
+		if cn.credits.TryAcquire() {
+			cn.sendOne(p, item)
 			continue
 		}
 		cn.credits.Acquire(p)
@@ -330,17 +385,70 @@ func (cn *conn) txEngine(p *sim.Proc) {
 			delete(cn.pending, att.id)
 			continue
 		}
-		att.sent = true
-		sent := cn.qp.PostSendReusable(p, verbs.SendWR{
-			WRID:    att.id,
-			Op:      verbs.OpSend,
-			Size:    item.wire.WireSize(),
-			Payload: item.wire,
-		})
-		// The NIC serializes messages in order; waiting for DMA-sent here
-		// pipelines exactly like the hardware send queue.
-		p.Wait(sent)
-		att.req.reusable.Fire()
+		batch, alone := cn.drainBatch(item)
+		if len(batch) == 1 {
+			cn.sendOne(p, batch[0])
+		} else {
+			cn.postBatch(p, batch)
+		}
+		cn.sendAlone(p, alone)
+	}
+}
+
+// sendOne posts a single-op doorbell. The caller already holds its credit.
+func (cn *conn) sendOne(p *sim.Proc, item *txItem) {
+	att := item.att
+	att.sent = true
+	cn.c.Sends++
+	sent := cn.qp.PostSendReusable(p, verbs.SendWR{
+		WRID:    att.id,
+		Op:      verbs.OpSend,
+		Size:    item.wire.WireSize(),
+		Payload: item.wire,
+	})
+	// The NIC serializes messages in order; waiting for DMA-sent here
+	// pipelines exactly like the hardware send queue.
+	p.Wait(sent)
+	att.req.reusable.Fire()
+}
+
+// sendFrame posts an explicit batch window handed over by Flush: one credit
+// for the whole frame, or the plain path for a frame that shrank to one op.
+func (cn *conn) sendFrame(p *sim.Proc, items []*txItem) {
+	items = cn.liveItems(items)
+	if len(items) == 0 {
+		return
+	}
+	if !cn.credits.TryAcquire() {
+		cn.credits.Acquire(p)
+		if items = cn.liveItems(items); len(items) == 0 {
+			cn.credits.Release()
+			return
+		}
+	}
+	if len(items) == 1 {
+		cn.sendOne(p, items[0])
+		return
+	}
+	cn.postBatch(p, items)
+}
+
+// sendAlone posts oversized-value ops excluded from a frame, one credit each.
+func (cn *conn) sendAlone(p *sim.Proc, items []*txItem) {
+	for _, item := range items {
+		if item.att.abandoned {
+			delete(cn.pending, item.att.id)
+			continue
+		}
+		if !cn.credits.TryAcquire() {
+			cn.credits.Acquire(p)
+			if item.att.abandoned {
+				cn.credits.Release()
+				delete(cn.pending, item.att.id)
+				continue
+			}
+		}
+		cn.sendOne(p, item)
 	}
 }
 
@@ -356,6 +464,13 @@ func (cn *conn) progressEngine(p *sim.Proc) {
 		if !ok {
 			panic("core: non-response payload on client receive CQ")
 		}
+		if resp.Op == protocol.OpBufferAck {
+			if b := cn.pendingBatch[resp.ReqID]; b != nil {
+				// One ack covers the whole coalesced frame.
+				cn.batchAcked(b)
+				continue
+			}
+		}
 		att := cn.pending[resp.ReqID]
 		if att == nil {
 			cn.c.Faults.Add("stale-responses", 1)
@@ -365,19 +480,14 @@ func (cn *conn) progressEngine(p *sim.Proc) {
 		switch resp.Op {
 		case protocol.OpBufferAck:
 			// Request is buffered server-side: buffers reusable, credit back.
-			if !att.creditReturned {
-				att.creditReturned = true
-				cn.credits.Release()
-			}
+			att.creditBack()
 			if !att.abandoned {
 				req.acked = true
 				req.reusable.Fire()
 			}
 		case protocol.OpResponse:
-			if !att.creditReturned {
-				att.creditReturned = true
-				cn.credits.Release()
-			}
+			att.creditBack()
+			att.resolve()
 			delete(cn.pending, resp.ReqID)
 			if att.abandoned || req.done.Fired() {
 				cn.c.Faults.Add("stale-responses", 1)

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("obj:%010d", i)
+	}
+	return keys
+}
+
+// TestRingBalance: with ketama vnodes, key load across servers stays near
+// uniform — every server within ±35% of the fair share for 8 servers.
+func TestRingBalance(t *testing.T) {
+	const servers = 8
+	r := newRing()
+	for s := 0; s < servers; s++ {
+		r.add(s)
+	}
+	keys := ringKeys(20000)
+	counts := make([]int, servers)
+	for _, k := range keys {
+		counts[r.pick(k)]++
+	}
+	fair := float64(len(keys)) / servers
+	for s, n := range counts {
+		if ratio := float64(n) / fair; ratio < 0.65 || ratio > 1.35 {
+			t.Errorf("server %d owns %d keys (%.2fx fair share), want within [0.65,1.35]", s, n, ratio)
+		}
+	}
+}
+
+// TestRingStability: pick is deterministic and unaffected by re-sorting.
+func TestRingStability(t *testing.T) {
+	r := newRing()
+	for s := 0; s < 4; s++ {
+		r.add(s)
+	}
+	keys := ringKeys(1000)
+	first := make([]int, len(keys))
+	for i, k := range keys {
+		first[i] = r.pick(k)
+	}
+	for i, k := range keys {
+		if got := r.pick(k); got != first[i] {
+			t.Fatalf("pick(%q) changed between calls: %d then %d", k, first[i], got)
+		}
+	}
+}
+
+// TestRingKeyMovementOnAdd locks the consistent-hashing contract: growing
+// the pool from N to N+1 servers moves roughly 1/(N+1) of the keys — and
+// every key that moves, moves TO the new server, never between old ones.
+func TestRingKeyMovementOnAdd(t *testing.T) {
+	const before = 4
+	r := newRing()
+	for s := 0; s < before; s++ {
+		r.add(s)
+	}
+	keys := ringKeys(20000)
+	old := make([]int, len(keys))
+	for i, k := range keys {
+		old[i] = r.pick(k)
+	}
+	r.add(before)
+	moved := 0
+	for i, k := range keys {
+		now := r.pick(k)
+		if now == old[i] {
+			continue
+		}
+		moved++
+		if now != before {
+			t.Fatalf("key %q moved from server %d to old server %d, not the new one", k, old[i], now)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	ideal := 1.0 / (before + 1)
+	if frac < ideal*0.6 || frac > ideal*1.6 {
+		t.Errorf("add moved %.1f%% of keys, want ≈%.1f%% (±60%%)", 100*frac, 100*ideal)
+	}
+}
+
+// TestRingKeyMovementOnRemove: removing a server reassigns only that
+// server's keys; everything else stays put.
+func TestRingKeyMovementOnRemove(t *testing.T) {
+	const servers = 5
+	r := newRing()
+	for s := 0; s < servers; s++ {
+		r.add(s)
+	}
+	keys := ringKeys(20000)
+	old := make([]int, len(keys))
+	for i, k := range keys {
+		old[i] = r.pick(k)
+	}
+	const victim = 2
+	r.remove(victim)
+	for i, k := range keys {
+		now := r.pick(k)
+		if now == victim {
+			t.Fatalf("key %q still maps to removed server", k)
+		}
+		if old[i] != victim && now != old[i] {
+			t.Fatalf("key %q on surviving server %d was reassigned to %d", k, old[i], now)
+		}
+	}
+}
+
+// TestRingEmptyPanics: picking from an empty ring is a programming error.
+func TestRingEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("pick on empty ring did not panic")
+		}
+	}()
+	newRing().pick("k")
+}

@@ -150,10 +150,12 @@ type Manager struct {
 	ssdLimit    int64
 	ssdNext     int64             // bump pointer for fresh flush pages
 	ssdFree     map[int64][]int64 // fully-reclaimed flush regions by size
+	windows     map[*sim.Proc]*evictionWindow
 
 	// Stats
 	Sets, Gets, Hits       int64
 	FlushPages             int64 // slab pages flushed to SSD
+	FlushWrites            int64 // SSD write calls issued for evictions
 	FlushedItems           int64
 	SSDLoads               int64
 	Promotions             int64 // SSD items moved back to RAM on Get
@@ -178,6 +180,7 @@ func New(env *sim.Env, cfg Config, file *pagecache.File) *Manager {
 		file:    file,
 		flushEv: env.NewEvent(),
 		ssdFree: make(map[int64][]int64),
+		windows: make(map[*sim.Proc]*evictionWindow),
 	}
 	m.lrus = make([]slab.LRU[*Item], m.alloc.NumClasses())
 	if file != nil {
@@ -294,6 +297,15 @@ func (m *Manager) evictOnePage(p *sim.Proc, class int) {
 			if m.alloc.ReclaimEmptyPage() {
 				return
 			}
+			if w := m.windows[p]; w != nil && len(w.jobs) > 0 {
+				// Our own deferred evictions are among the in-flight
+				// flushes; waiting on flushEv could be waiting on
+				// ourselves. Land them now and let the caller retry.
+				jobs := w.jobs
+				w.jobs = nil
+				m.placeMerged(p, jobs)
+				return
+			}
 			if m.flushing > 0 {
 				p.Wait(m.flushEv)
 				return
@@ -352,6 +364,18 @@ func (m *Manager) evictOnePage(p *sim.Proc, class int) {
 		m.FlushTime += p.Now() - t0
 		return
 	}
+	if w := m.windows[p]; w != nil {
+		// Eviction coalescing window (doorbell batching): stage like
+		// write-behind — the staging copy holds the data, so the RAM
+		// chunks free now — but the deferred SSD write stays with this
+		// worker and lands in EndEvictionBatch's merged flush.
+		for range victims {
+			m.alloc.Free(victimClass)
+		}
+		w.jobs = append(w.jobs, flushJob{victims: victims, class: victimClass, chunk: chunk})
+		m.FlushTime += p.Now() - t0
+		return
+	}
 	m.placeVictims(p, flushJob{victims: victims, class: victimClass, chunk: chunk}, true)
 	m.FlushTime += p.Now() - t0
 }
@@ -369,35 +393,153 @@ func (m *Manager) asyncFlusher(p *sim.Proc) {
 	}
 }
 
+// --- Eviction coalescing (doorbell batching) ---
+
+// evictionWindow accumulates evictions staged by one worker process while it
+// executes a batch of requests back-to-back.
+type evictionWindow struct {
+	depth int
+	jobs  []flushJob
+}
+
+// BeginEvictionBatch opens a coalescing window for the calling process:
+// until the matching EndEvictionBatch, synchronous evictions it triggers
+// only stage their victims and free the RAM chunks; the SSD writes are
+// deferred and merged. Windows nest; other workers' evictions are
+// unaffected. A no-op for RAM-only managers (eviction just drops) and under
+// AsyncFlush (write-behind already decouples the write).
+func (m *Manager) BeginEvictionBatch(p *sim.Proc) {
+	if m.file == nil || m.cfg.AsyncFlush {
+		return
+	}
+	w := m.windows[p]
+	if w == nil {
+		w = &evictionWindow{}
+		m.windows[p] = w
+	}
+	w.depth++
+}
+
+// EndEvictionBatch closes the calling process's window and lands its
+// deferred evictions: adjacent jobs flushed with the same I/O scheme share
+// one contiguously allocated arena region and one larger sequential SSD
+// write — the amortization that makes a batch of Sets cost far fewer device
+// writes than the same Sets issued one by one.
+func (m *Manager) EndEvictionBatch(p *sim.Proc) {
+	w := m.windows[p]
+	if w == nil {
+		return
+	}
+	if w.depth--; w.depth > 0 {
+		return
+	}
+	delete(m.windows, p)
+	if len(w.jobs) == 0 {
+		return
+	}
+	t0 := p.Now()
+	m.placeMerged(p, w.jobs)
+	m.FlushTime += p.Now() - t0
+}
+
+// placeMerged performs a window's deferred SSD writes, coalescing runs of
+// same-scheme jobs into single sequential writes. Page-granular reclaim is
+// preserved: every job keeps its own ssdPage inside the merged region. Runs
+// that cannot get a contiguous region (arena full or fragmented) fall back
+// to per-job placement, which reuses freed regions and discards cold SSD
+// items.
+func (m *Manager) placeMerged(p *sim.Proc, jobs []flushJob) {
+	for i := 0; i < len(jobs); {
+		scheme := m.flushScheme(jobs[i].class)
+		j := i
+		total := 0
+		for j < len(jobs) && m.flushScheme(jobs[j].class) == scheme {
+			total += len(jobs[j].victims) * jobs[j].chunk
+			j++
+		}
+		run := jobs[i:j]
+		i = j
+		if len(run) == 1 {
+			m.placeVictims(p, run[0], false)
+			continue
+		}
+		base, ok := m.ssdAllocContig(int64(total))
+		if !ok {
+			for _, job := range run {
+				m.placeVictims(p, job, false)
+			}
+			continue
+		}
+		m.file.Write(p, base, total, nil, scheme)
+		m.FlushWrites++
+		off := base
+		for _, job := range run {
+			m.placeAt(job, off, false)
+			off += int64(len(job.victims) * job.chunk)
+			m.jobDone()
+		}
+	}
+}
+
+// ssdAllocContig bump-allocates one contiguous region for a merged flush.
+// Unlike ssdAlloc it does not scavenge on failure — freed regions are
+// job-sized, not run-sized — so callers fall back to per-job placement.
+func (m *Manager) ssdAllocContig(size int64) (int64, bool) {
+	if m.ssdNext+size <= m.ssdLimit {
+		off := m.ssdNext
+		m.ssdNext += size
+		return off, true
+	}
+	return 0, false
+}
+
 // placeVictims performs the SSD write and placement for one evicted slab.
 // freeRAM releases the victims' RAM chunks (the synchronous path; the
-// async path freed them at buffering time).
+// async and coalesced paths freed them at buffering time).
 func (m *Manager) placeVictims(p *sim.Proc, job flushJob, freeRAM bool) {
-	defer func() {
-		m.flushing--
-		ev := m.flushEv
-		m.flushEv = m.env.NewEvent()
-		ev.Fire()
-	}()
-	victims, victimClass, chunk := job.victims, job.class, job.chunk
-	flushBytes := len(victims) * chunk
+	defer m.jobDone()
+	flushBytes := len(job.victims) * job.chunk
 	base, ok := m.ssdAlloc(int64(flushBytes))
 	if !ok {
 		// SSD full: drop the victims entirely (LRU overflow discard).
-		for _, v := range victims {
-			if freeRAM {
-				m.alloc.Free(victimClass)
-			}
-			v.inTransit = false
-			if !v.dropped {
-				v.Value = nil
-				v.dropped = true
-				m.DropEvictions++
-			}
-		}
+		m.dropJob(job, freeRAM)
 		return
 	}
-	m.file.Write(p, base, flushBytes, nil, m.flushScheme(victimClass))
+	m.file.Write(p, base, flushBytes, nil, m.flushScheme(job.class))
+	m.FlushWrites++
+	m.placeAt(job, base, freeRAM)
+}
+
+// jobDone retires one in-flight eviction and wakes allocation waiters.
+func (m *Manager) jobDone() {
+	m.flushing--
+	ev := m.flushEv
+	m.flushEv = m.env.NewEvent()
+	ev.Fire()
+}
+
+// dropJob discards a staged job's victims entirely (SSD full).
+func (m *Manager) dropJob(job flushJob, freeRAM bool) {
+	for _, v := range job.victims {
+		if freeRAM {
+			m.alloc.Free(job.class)
+		}
+		v.inTransit = false
+		if !v.dropped {
+			v.Value = nil
+			v.dropped = true
+			m.DropEvictions++
+		}
+	}
+}
+
+// placeAt links one staged job's victims to their SSD slots at base; the
+// write covering [base, base+len*chunk) has already been issued. Each job
+// keeps its own ssdPage so arena reclaim stays page-granular even when
+// several jobs share one merged write.
+func (m *Manager) placeAt(job flushJob, base int64, freeRAM bool) {
+	victims, victimClass, chunk := job.victims, job.class, job.chunk
+	flushBytes := len(victims) * chunk
 	pg := &ssdPage{base: base, size: int64(flushBytes)}
 	for i, v := range victims {
 		if freeRAM {

@@ -1,0 +1,133 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sampleBatch(n int) *BatchFrame {
+	f := &BatchFrame{BatchID: 4242, AckWanted: true}
+	for i := 0; i < n; i++ {
+		r := &Request{
+			Op: OpSet, ReqID: uint64(100 + i), Key: fmt.Sprintf("obj:%010d", i),
+			Flags: uint32(i), ValueSize: 128 * (i + 1), RespMR: i, AckWanted: true,
+		}
+		if i%3 == 0 {
+			r.Op, r.ValueSize = OpGet, 0
+		}
+		f.Reqs = append(f.Reqs, r)
+	}
+	return f
+}
+
+func TestBatchFrameRoundTrip(t *testing.T) {
+	f := sampleBatch(7)
+	b := f.Marshal(nil)
+	got, err := UnmarshalBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BatchID != f.BatchID || got.AckWanted != f.AckWanted || len(got.Reqs) != len(f.Reqs) {
+		t.Fatalf("frame mismatch: %+v vs %+v", got, f)
+	}
+	for i, r := range f.Reqs {
+		g := got.Reqs[i]
+		if g.Op != r.Op || g.ReqID != r.ReqID || g.Key != r.Key ||
+			g.Flags != r.Flags || g.ValueSize != r.ValueSize || g.RespMR != r.RespMR {
+			t.Errorf("op %d mismatch: %+v vs %+v", i, g, r)
+		}
+	}
+}
+
+func TestBatchWireSize(t *testing.T) {
+	f := sampleBatch(4)
+	want := batchFixedBytes + 4*4
+	for _, r := range f.Reqs {
+		want += r.WireSize()
+	}
+	if f.WireSize() != want {
+		t.Errorf("WireSize = %d, want %d", f.WireSize(), want)
+	}
+	// The marshaled bytes cover everything except the opaque value region.
+	vals := 0
+	for _, r := range f.Reqs {
+		vals += r.ValueSize
+	}
+	if got := len(f.Marshal(nil)); got != want-vals {
+		t.Errorf("marshaled %d bytes, want %d (WireSize minus values)", got, want-vals)
+	}
+	// A batch of one costs the frame overhead over the bare request —
+	// amortized away as the batch grows.
+	one := &BatchFrame{BatchID: 1, Reqs: []*Request{{Op: OpGet, Key: "k"}}}
+	if one.WireSize() != batchFixedBytes+4+one.Reqs[0].WireSize() {
+		t.Errorf("singleton batch wire size %d", one.WireSize())
+	}
+}
+
+func TestBatchMarshalReuse(t *testing.T) {
+	f := sampleBatch(5)
+	buf := make([]byte, 0, 4096)
+	a := f.Marshal(buf)
+	b := f.Marshal(a[:0])
+	if &a[0] != &b[0] {
+		t.Error("Marshal did not reuse the provided buffer")
+	}
+	if _, err := UnmarshalBatch(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalBatchCorrupt(t *testing.T) {
+	f := sampleBatch(3)
+	b := f.Marshal(nil)
+	cases := map[string][]byte{
+		"short fixed":   b[:8],
+		"short table":   b[:batchFixedBytes+4],
+		"wrong opcode":  append([]byte{byte(OpSet)}, b[1:]...),
+		"truncated ops": b[:len(b)-10],
+	}
+	for name, buf := range cases {
+		if _, err := UnmarshalBatch(buf); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Offset pointing before the table.
+	bad := f.Marshal(nil)
+	bad[batchFixedBytes] = 0
+	bad[batchFixedBytes+1] = 0
+	bad[batchFixedBytes+2] = 0
+	bad[batchFixedBytes+3] = 0
+	if _, err := UnmarshalBatch(bad); err != ErrBadBatch {
+		t.Errorf("bad offset err = %v", err)
+	}
+}
+
+// Microbenchmarks for the hot encode/decode paths the batching pipeline
+// leans on. Run with: go test ./internal/protocol -bench . -benchmem
+func BenchmarkRequestAppendHeader(b *testing.B) {
+	r := &Request{Op: OpSet, ReqID: 7, Key: "obj:0000000001", ValueSize: 32 << 10}
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = r.AppendHeader(buf[:0])
+	}
+}
+
+func BenchmarkBatchMarshal16(b *testing.B) {
+	f := sampleBatch(16)
+	buf := make([]byte, 0, 8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = f.Marshal(buf[:0])
+	}
+}
+
+func BenchmarkBatchUnmarshal16(b *testing.B) {
+	buf := sampleBatch(16).Marshal(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalBatch(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

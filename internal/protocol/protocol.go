@@ -175,24 +175,30 @@ func (r *Response) WireSize() int {
 
 // MarshalHeader encodes the request header (everything but the value bytes).
 func (r *Request) MarshalHeader() []byte {
-	buf := make([]byte, 0, r.HeaderSize())
-	buf = append(buf, byte(r.Op))
+	return r.AppendHeader(make([]byte, 0, r.HeaderSize()))
+}
+
+// AppendHeader encodes the request header onto dst and returns the extended
+// slice, letting hot paths (batch frames, microbenchmarks) reuse one buffer
+// across many requests instead of allocating per op.
+func (r *Request) AppendHeader(dst []byte) []byte {
+	dst = append(dst, byte(r.Op))
 	if r.AckWanted {
-		buf = append(buf, 1)
+		dst = append(dst, 1)
 	} else {
-		buf = append(buf, 0)
+		dst = append(dst, 0)
 	}
-	buf = append(buf, 0, 0) // pad
-	buf = binary.LittleEndian.AppendUint32(buf, r.Flags)
-	buf = binary.LittleEndian.AppendUint32(buf, r.Expire)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.ValueSize))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.RespMR))
-	buf = binary.LittleEndian.AppendUint64(buf, r.ReqID)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(r.Key)))
-	buf = binary.LittleEndian.AppendUint64(buf, r.CAS)
-	buf = binary.LittleEndian.AppendUint64(buf, r.Delta)
-	buf = append(buf, r.Key...)
-	return buf
+	dst = append(dst, 0, 0) // pad
+	dst = binary.LittleEndian.AppendUint32(dst, r.Flags)
+	dst = binary.LittleEndian.AppendUint32(dst, r.Expire)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.ValueSize))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.RespMR))
+	dst = binary.LittleEndian.AppendUint64(dst, r.ReqID)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(r.Key)))
+	dst = binary.LittleEndian.AppendUint64(dst, r.CAS)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Delta)
+	dst = append(dst, r.Key...)
+	return dst
 }
 
 // ErrShortHeader reports a truncated or corrupt header.

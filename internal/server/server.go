@@ -73,6 +73,10 @@ type Config struct {
 	// ParseCost is the per-request header parse/dispatch cost
 	// (default 400 ns).
 	ParseCost sim.Time
+	// BatchOpCost is the incremental parse cost per additional header in a
+	// coalesced BatchFrame (default 100 ns): unpacking N ops from one frame
+	// costs ParseCost + (N-1)·BatchOpCost, far below N·ParseCost.
+	BatchOpCost sim.Time
 }
 
 func (c *Config) fill() {
@@ -87,6 +91,9 @@ func (c *Config) fill() {
 	}
 	if c.ParseCost <= 0 {
 		c.ParseCost = 400 * sim.Nanosecond
+	}
+	if c.BatchOpCost <= 0 {
+		c.BatchOpCost = 100 * sim.Nanosecond
 	}
 }
 
@@ -125,6 +132,9 @@ type Server struct {
 	// Stats
 	Requests int64
 	Acks     int64
+	// Batches counts coalesced BatchFrames received; their member ops are
+	// included in Requests.
+	Batches int64
 	// Discarded counts requests dropped because they arrived (or finished a
 	// storage phase) while the server was crashed.
 	Discarded int64
@@ -137,6 +147,9 @@ type rdmaConn struct {
 type task struct {
 	req  *protocol.Request
 	conn *rdmaConn
+	// batch is set instead of req for a coalesced frame: one storage worker
+	// executes the whole batch's storage phases back-to-back.
+	batch *protocol.BatchFrame
 }
 
 // NewRDMA creates an RDMA-transport server on node.
@@ -248,51 +261,97 @@ func (s *Server) ScheduleCrash(from, to sim.Time) {
 func (s *Server) rdmaDispatcher(p *sim.Proc) {
 	for {
 		c := s.recvCQ.WaitPoll(p)
-		req, ok := c.Payload.(*protocol.Request)
-		if !ok {
-			panic("server: non-request payload on receive CQ")
-		}
 		conn := s.connByQPN[c.QPN]
 		if conn == nil {
 			panic(fmt.Sprintf("server: completion for unknown QP %d", c.QPN))
 		}
+		switch pl := c.Payload.(type) {
+		case *protocol.Request:
+			s.dispatchOne(p, conn, pl)
+		case *protocol.BatchFrame:
+			s.dispatchBatch(p, conn, pl)
+		default:
+			panic("server: non-request payload on receive CQ")
+		}
+	}
+}
+
+// dispatchOne handles a single-op receive.
+func (s *Server) dispatchOne(p *sim.Proc, conn *rdmaConn, req *protocol.Request) {
+	if s.down {
+		// Crashed: swallow the request. Re-post the receive so retried
+		// requests don't hit receiver-not-ready, but never respond — the
+		// client's credit is stranded until its deadline machinery
+		// reclaims it.
+		s.Discarded++
+		conn.qp.PostRecv(verbs.RecvWR{})
+		return
+	}
+	p.Sleep(s.cfg.ParseCost)
+	s.Requests++
+	if s.cfg.Pipeline == Sync {
+		// Storage phase inline; the receive slot is held until the
+		// request finishes (the client's credit comes back with the
+		// response).
+		resp := s.st.Handle(p, req)
 		if s.down {
-			// Crashed: swallow the request. Re-post the receive so retried
-			// requests don't hit receiver-not-ready, but never respond — the
-			// client's credit is stranded until its deadline machinery
-			// reclaims it.
+			// Crashed mid-storage-phase (e.g. during a hybrid eviction):
+			// the response is lost with the process.
 			s.Discarded++
 			conn.qp.PostRecv(verbs.RecvWR{})
-			continue
+			return
 		}
-		p.Sleep(s.cfg.ParseCost)
-		s.Requests++
-		if s.cfg.Pipeline == Sync {
-			// Storage phase inline; the receive slot is held until the
-			// request finishes (the client's credit comes back with the
-			// response).
-			resp := s.st.Handle(p, req)
-			if s.down {
-				// Crashed mid-storage-phase (e.g. during a hybrid eviction):
-				// the response is lost with the process.
-				s.Discarded++
-				conn.qp.PostRecv(verbs.RecvWR{})
-				continue
-			}
-			s.respond(p, conn, req, resp)
-			conn.qp.PostRecv(verbs.RecvWR{})
-			continue
-		}
-		// Async: communication phase only. Reserve buffer memory for the
-		// request (header + any carried value): this is where
-		// backpressure forms when storage falls behind.
-		s.slots.AcquireN(p, req.WireSize())
+		s.respond(p, conn, req, resp)
 		conn.qp.PostRecv(verbs.RecvWR{})
-		if req.AckWanted {
-			s.sendAck(p, conn, req)
-		}
-		s.reqQ.Put(p, task{req: req, conn: conn})
+		return
 	}
+	// Async: communication phase only. Reserve buffer memory for the
+	// request (header + any carried value): this is where
+	// backpressure forms when storage falls behind.
+	s.slots.AcquireN(p, req.WireSize())
+	conn.qp.PostRecv(verbs.RecvWR{})
+	if req.AckWanted {
+		s.sendAck(p, conn, req)
+	}
+	s.reqQ.Put(p, task{req: req, conn: conn})
+}
+
+// dispatchBatch unpacks a coalesced frame in one communication phase: one
+// parse, one receive-repost, and — on the async pipeline — one buffer
+// reservation, one early BufferAck covering every member, and one task so a
+// single storage worker runs the batch's storage phases back-to-back.
+func (s *Server) dispatchBatch(p *sim.Proc, conn *rdmaConn, frame *protocol.BatchFrame) {
+	n := len(frame.Reqs)
+	if s.down {
+		s.Discarded += int64(n)
+		conn.qp.PostRecv(verbs.RecvWR{})
+		return
+	}
+	p.Sleep(s.cfg.ParseCost + sim.Time(n-1)*s.cfg.BatchOpCost)
+	s.Requests += int64(n)
+	s.Batches++
+	if s.cfg.Pipeline == Sync {
+		resps := s.st.HandleBatch(p, frame.Reqs)
+		if s.down {
+			s.Discarded += int64(n)
+			conn.qp.PostRecv(verbs.RecvWR{})
+			return
+		}
+		for i, resp := range resps {
+			s.respond(p, conn, frame.Reqs[i], resp)
+		}
+		conn.qp.PostRecv(verbs.RecvWR{})
+		return
+	}
+	// Async: reserve buffer memory for the whole frame at once, give the
+	// client its credit back with a single receive-repost, and ack the
+	// batch as a unit.
+	s.slots.AcquireN(p, frame.WireSize())
+	conn.qp.PostRecv(verbs.RecvWR{})
+	if frame.AckWanted {
+		s.sendBatchAck(p, conn, frame)
+	}
+	s.reqQ.Put(p, task{batch: frame, conn: conn})
 }
 
 // storageWorker executes buffered requests and responds.
@@ -301,6 +360,10 @@ func (s *Server) storageWorker(p *sim.Proc) {
 		t, ok := s.reqQ.Get(p)
 		if !ok {
 			return
+		}
+		if t.batch != nil {
+			s.workBatch(p, t)
+			continue
 		}
 		if s.down {
 			s.Discarded++
@@ -317,6 +380,30 @@ func (s *Server) storageWorker(p *sim.Proc) {
 		s.respond(p, t.conn, t.req, resp)
 		s.slots.ReleaseN(t.req.WireSize())
 	}
+}
+
+// workBatch runs a buffered frame's storage phases back-to-back on one
+// worker — merging the evictions its Sets trigger into larger sequential
+// SSD flushes — then scatters one response per member op.
+func (s *Server) workBatch(p *sim.Proc, t task) {
+	size := t.batch.WireSize()
+	n := int64(len(t.batch.Reqs))
+	if s.down {
+		s.Discarded += n
+		s.slots.ReleaseN(size)
+		return
+	}
+	resps := s.st.HandleBatch(p, t.batch.Reqs)
+	if s.down {
+		// Crashed mid-storage-phase: drop the finished work.
+		s.Discarded += n
+		s.slots.ReleaseN(size)
+		return
+	}
+	for i, resp := range resps {
+		s.respond(p, t.conn, t.batch.Reqs[i], resp)
+	}
+	s.slots.ReleaseN(size)
 }
 
 // respond RDMA-WRITEs the response into the client's registered response
@@ -352,6 +439,22 @@ func (s *Server) sendAck(p *sim.Proc, conn *rdmaConn, req *protocol.Request) {
 	s.Acks++
 }
 
+// sendBatchAck acknowledges a whole coalesced frame with one BufferAck
+// carrying the batch id; the client fans it out to every member and takes
+// its single flow-control credit back.
+func (s *Server) sendBatchAck(p *sim.Proc, conn *rdmaConn, frame *protocol.BatchFrame) {
+	ack := &protocol.Response{Op: protocol.OpBufferAck, ReqID: frame.BatchID, Status: protocol.StatusOK}
+	conn.qp.PostSend(p, verbs.SendWR{
+		WRID:     frame.BatchID,
+		Op:       verbs.OpWriteImm,
+		Size:     ack.WireSize(),
+		Payload:  ack,
+		RemoteMR: frame.Reqs[0].RespMR,
+		Imm:      frame.BatchID,
+	})
+	s.Acks++
+}
+
 // ipoibAcceptLoop accepts stream connections and spawns a handler per
 // connection (default Memcached's thread-per-connection event handling,
 // always the sync design).
@@ -375,24 +478,49 @@ func (s *Server) ipoibHandler(p *sim.Proc, stream *verbs.Stream) {
 		if !ok {
 			return
 		}
-		req, okReq := msg.Payload.(*protocol.Request)
-		if !okReq {
+		switch pl := msg.Payload.(type) {
+		case *protocol.Request:
+			if s.down {
+				s.Discarded++
+				continue
+			}
+			p.Sleep(s.cfg.ParseCost)
+			s.Requests++
+			resp := s.st.Handle(p, pl)
+			if s.down {
+				s.Discarded++
+				continue
+			}
+			s.ipoibRespond(p, stream, resp)
+		case *protocol.BatchFrame:
+			// One vectored frame (libmemcached buffering mode): unpack in
+			// one parse pass, run the storage phases back-to-back, answer
+			// each op in order.
+			n := int64(len(pl.Reqs))
+			if s.down {
+				s.Discarded += n
+				continue
+			}
+			p.Sleep(s.cfg.ParseCost + sim.Time(n-1)*s.cfg.BatchOpCost)
+			s.Requests += n
+			s.Batches++
+			resps := s.st.HandleBatch(p, pl.Reqs)
+			if s.down {
+				s.Discarded += n
+				continue
+			}
+			for _, resp := range resps {
+				s.ipoibRespond(p, stream, resp)
+			}
+		default:
 			panic("server: non-request payload on IPoIB stream")
 		}
-		if s.down {
-			s.Discarded++
-			continue
-		}
-		p.Sleep(s.cfg.ParseCost)
-		s.Requests++
-		resp := s.st.Handle(p, req)
-		if s.down {
-			s.Discarded++
-			continue
-		}
-		t0 := p.Now()
-		p.Sleep(memcpyTime(resp.ValueSize))
-		stream.Send(p, resp.WireSize(), resp)
-		s.st.Prof.Add(metrics.StageResponse, p.Now()-t0)
 	}
+}
+
+func (s *Server) ipoibRespond(p *sim.Proc, stream *verbs.Stream, resp *protocol.Response) {
+	t0 := p.Now()
+	p.Sleep(memcpyTime(resp.ValueSize))
+	stream.Send(p, resp.WireSize(), resp)
+	s.st.Prof.Add(metrics.StageResponse, p.Now()-t0)
 }
