@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race smoke check
+.PHONY: build test vet race smoke robustness check
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ race:
 smoke:
 	$(GO) run ./cmd/mc-bench -smoke
 
+# The crash-consistency gate: fault-injection and cold-restart recovery
+# experiments at smoke scale. Also covered by the full `smoke` run; kept
+# as an explicit target so failures name the robustness suite directly.
+robustness:
+	$(GO) run ./cmd/mc-bench -smoke faults recovery
+
 # The pre-merge gate: static analysis, the full suite under the race
-# detector, and a registry smoke run.
-check: vet race smoke
+# detector, the robustness gate, and a registry smoke run.
+check: vet race robustness smoke

@@ -30,6 +30,7 @@ var Registry = []Experiment{
 	{"fig8b", "Bursty block I/O workload", fig8b},
 	{"faults", "Degraded mode: tail latency and goodput under a fault schedule", faultsExp},
 	{"batching", "Doorbell batching: batch size sweep over every design", batchingExp},
+	{"recovery", "Cold-restart recovery: crash consistency under torn writes", recoveryExp},
 }
 
 // ByID finds an experiment, or nil.

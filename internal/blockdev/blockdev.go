@@ -16,6 +16,7 @@ package blockdev
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"hybridkv/internal/sim"
 )
@@ -83,6 +84,10 @@ func bwTime(size int, bps int64) sim.Time {
 	return sim.Time(float64(size) / float64(bps) * float64(sim.Second))
 }
 
+// SectorSize is the atomic write unit of the media: a torn write persists a
+// whole number of leading sectors and nothing after them.
+const SectorSize = 512
+
 // Device is one simulated drive.
 type Device struct {
 	env      *sim.Env
@@ -91,11 +96,23 @@ type Device struct {
 	channels *sim.Resource
 	extents  map[int64]extent
 
+	// durable is what the platters hold across a power cycle, fed by the
+	// persistence-aware write paths (pagecache.File.WriteExtents /
+	// WriteCommit). It is kept separate from extents — the running system's
+	// logical view — so that torn writes can persist a sector prefix without
+	// the live store observing the tear.
+	durable map[int64]DurExtent
+
 	// Fault injection (SetFaults). The RNG is only consulted while a
 	// probability is non-zero, so an unfaulted device stays deterministic.
 	faultRNG     *rand.Rand
 	readErrProb  float64
 	writeErrProb float64
+
+	// Torn-write injection (SetTornWrites): a write command may persist only
+	// a prefix of its sectors, modeling power loss mid-program.
+	tornRNG  *rand.Rand
+	tornProb float64
 
 	// Stats
 	Reads, Writes         int64
@@ -103,12 +120,26 @@ type Device struct {
 	BusyTime              sim.Time
 	// ReadErrors / WriteErrors count injected I/O failures.
 	ReadErrors, WriteErrors int64
+	// TornWrites counts writes that persisted only a sector prefix.
+	TornWrites int64
 }
 
 type extent struct {
 	size    int
 	payload any
 }
+
+// DurExtent is one durably-persisted extent. Valid < Size marks a torn
+// extent: only the first Valid bytes reached the media, so any checksum
+// over the full extent fails.
+type DurExtent struct {
+	Size    int
+	Payload any
+	Valid   int
+}
+
+// Torn reports whether the extent persisted incompletely.
+func (e DurExtent) Torn() bool { return e.Valid < e.Size }
 
 // New creates a drive of the given profile and capacity (bytes).
 func New(env *sim.Env, prof Profile, capacity int64) *Device {
@@ -121,6 +152,7 @@ func New(env *sim.Env, prof Profile, capacity int64) *Device {
 		capacity: capacity,
 		channels: sim.NewResource(env, prof.Channels),
 		extents:  make(map[int64]extent),
+		durable:  make(map[int64]DurExtent),
 	}
 }
 
@@ -166,6 +198,78 @@ func (d *Device) InjectWriteError() bool {
 		return true
 	}
 	return false
+}
+
+// SetTornWrites arms torn-write injection: each persisting write command
+// tears with probability prob, leaving only a uniformly-drawn sector prefix
+// on the media. Zero probability disarms injection.
+func (d *Device) SetTornWrites(seed int64, prob float64) {
+	d.tornRNG = rand.New(rand.NewSource(seed))
+	d.tornProb = prob
+}
+
+// InjectTorn draws one torn-write decision for a size-byte command: the
+// number of bytes that actually persisted (a multiple of SectorSize, < size
+// when torn) and whether the command tore.
+func (d *Device) InjectTorn(size int) (persisted int, torn bool) {
+	if d.tornProb <= 0 || d.tornRNG == nil || size <= SectorSize {
+		return size, false
+	}
+	if d.tornRNG.Float64() >= d.tornProb {
+		return size, false
+	}
+	sectors := (size + SectorSize - 1) / SectorSize
+	// Persist [0, sectors) whole sectors — never all of them.
+	persisted = d.tornRNG.Intn(sectors) * SectorSize
+	d.TornWrites++
+	return persisted, true
+}
+
+// Persist records a durable extent: what a cold restart will find at off.
+// Valid < size marks the extent torn. Time is not charged here — callers
+// charge the device through the normal write paths.
+func (d *Device) Persist(off int64, size, valid int, payload any) {
+	if valid <= 0 {
+		delete(d.durable, off)
+		return
+	}
+	d.durable[off] = DurExtent{Size: size, Payload: payload, Valid: valid}
+}
+
+// DiscardDurable drops the durable extent at off (slot invalidation /
+// region reuse).
+func (d *Device) DiscardDurable(off int64) { delete(d.durable, off) }
+
+// PeekDurable returns the durable extent at off without any time charge.
+func (d *Device) PeekDurable(off int64) (DurExtent, bool) {
+	e, ok := d.durable[off]
+	return e, ok
+}
+
+// DurableOffsets returns every durable extent offset in [lo, hi), sorted —
+// the scan order of a recovery pass.
+func (d *Device) DurableOffsets(lo, hi int64) []int64 {
+	var offs []int64
+	for off := range d.durable {
+		if off >= lo && off < hi {
+			offs = append(offs, off)
+		}
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	return offs
+}
+
+// DurableEnd returns the end offset of the highest durable extent in
+// [lo, hi), or lo when none exist — where a rebuilt bump allocator must
+// resume to avoid overwriting surviving data.
+func (d *Device) DurableEnd(lo, hi int64) int64 {
+	end := lo
+	for off, e := range d.durable {
+		if off >= lo && off < hi && off+int64(e.Size) > end {
+			end = off + int64(e.Size)
+		}
+	}
+	return end
 }
 
 // WriteAt stores payload at offset, blocking the calling process for the

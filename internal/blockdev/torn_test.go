@@ -1,0 +1,89 @@
+package blockdev
+
+import (
+	"testing"
+
+	"hybridkv/internal/sim"
+)
+
+func TestInjectTornDisabledPersistsEverything(t *testing.T) {
+	d := New(sim.NewEnv(), SATA(), 1<<20)
+	// Not armed: every command persists in full.
+	if n, torn := d.InjectTorn(64 << 10); n != 64<<10 || torn {
+		t.Errorf("unarmed InjectTorn = (%d,%v), want (%d,false)", n, torn, 64<<10)
+	}
+	// Armed with prob 0: same.
+	d.SetTornWrites(1, 0)
+	if n, torn := d.InjectTorn(64 << 10); n != 64<<10 || torn {
+		t.Errorf("prob-0 InjectTorn = (%d,%v), want full", n, torn)
+	}
+	if d.TornWrites != 0 {
+		t.Errorf("TornWrites = %d, want 0", d.TornWrites)
+	}
+}
+
+func TestInjectTornAlwaysTearsSectorPrefix(t *testing.T) {
+	d := New(sim.NewEnv(), SATA(), 1<<20)
+	d.SetTornWrites(42, 1.0)
+	const size = 8 * SectorSize
+	for i := 0; i < 50; i++ {
+		n, torn := d.InjectTorn(size)
+		if !torn {
+			t.Fatalf("draw %d: prob-1 command did not tear", i)
+		}
+		if n%SectorSize != 0 {
+			t.Fatalf("draw %d: persisted %d not sector-aligned", i, n)
+		}
+		if n < 0 || n >= size {
+			t.Fatalf("draw %d: persisted %d outside [0,%d)", i, n, size)
+		}
+	}
+	if d.TornWrites != 50 {
+		t.Errorf("TornWrites = %d, want 50", d.TornWrites)
+	}
+}
+
+func TestInjectTornNeverTearsSingleSector(t *testing.T) {
+	d := New(sim.NewEnv(), SATA(), 1<<20)
+	d.SetTornWrites(7, 1.0)
+	// A command of at most one sector is atomic on real media.
+	if n, torn := d.InjectTorn(SectorSize); n != SectorSize || torn {
+		t.Errorf("single-sector InjectTorn = (%d,%v), want atomic", n, torn)
+	}
+}
+
+func TestDurableExtentLifecycle(t *testing.T) {
+	d := New(sim.NewEnv(), SATA(), 1<<20)
+	d.Persist(0, 4096, 4096, "a")
+	d.Persist(8192, 4096, 512, "b") // torn: only one sector valid
+	d.Persist(4096, 4096, 4096, "c")
+
+	if got := d.DurableOffsets(0, 1<<20); len(got) != 3 ||
+		got[0] != 0 || got[1] != 4096 || got[2] != 8192 {
+		t.Fatalf("DurableOffsets = %v", got)
+	}
+	if end := d.DurableEnd(0, 1<<20); end != 8192+4096 {
+		t.Errorf("DurableEnd = %d, want %d", end, 8192+4096)
+	}
+	e, ok := d.PeekDurable(8192)
+	if !ok || !e.Torn() || e.Payload != "b" || e.Valid != 512 {
+		t.Errorf("torn extent = %+v ok=%v", e, ok)
+	}
+	e, ok = d.PeekDurable(0)
+	if !ok || e.Torn() {
+		t.Errorf("full extent reported torn: %+v ok=%v", e, ok)
+	}
+
+	d.DiscardDurable(4096)
+	if _, ok := d.PeekDurable(4096); ok {
+		t.Error("extent survived DiscardDurable")
+	}
+	// Persist with valid <= 0 deletes.
+	d.Persist(0, 4096, 0, nil)
+	if _, ok := d.PeekDurable(0); ok {
+		t.Error("extent survived zero-valid Persist")
+	}
+	if end := d.DurableEnd(0, 1<<20); end != 8192+4096 {
+		t.Errorf("DurableEnd after discards = %d", end)
+	}
+}

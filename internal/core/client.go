@@ -133,9 +133,14 @@ type Req struct {
 
 	done     *sim.Event // server response received ("completion flag")
 	reusable *sim.Event // user buffers reusable
+	nudge    *sim.Event // guard wakeup: attempt rejected as retryable (recovering)
 	c        *Client
 	conn     *conn    // connection of the current attempt
 	cur      *attempt // current (latest) attempt
+
+	// retryable marks a request issued under WithRetry: a StatusRecovering
+	// rejection nudges its guard instead of completing the request.
+	retryable bool
 
 	// Outcome flags behind Err.
 	timedOut bool
@@ -316,6 +321,7 @@ func (c *Client) newReq(op protocol.Opcode, key string, cn *conn) *Req {
 		conn:     cn,
 		done:     c.env.NewEvent(),
 		reusable: c.env.NewEvent(),
+		nudge:    c.env.NewEvent(),
 		IssuedAt: c.env.Now(),
 	}
 }

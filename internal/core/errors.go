@@ -27,6 +27,11 @@ var (
 	ErrDeadlineExceeded = errors.New("core: deadline exceeded")
 	// ErrCanceled reports an operation abandoned by Cancel.
 	ErrCanceled = errors.New("core: request canceled")
+	// ErrRecovering reports a request rejected while the server rebuilds
+	// its store from the SSD after a cold restart. WithRetry treats it as
+	// retryable: guarded requests back off and retransmit instead of
+	// completing with this error.
+	ErrRecovering = errors.New("core: server recovering")
 	// ErrInFlight reports Err called before the operation completed.
 	ErrInFlight = errors.New("core: request still in flight")
 )
@@ -47,6 +52,8 @@ func statusErr(s protocol.Status) error {
 		return ErrBadValue
 	case protocol.StatusTooLarge:
 		return ErrTooLarge
+	case protocol.StatusRecovering:
+		return ErrRecovering
 	default:
 		return ErrServer
 	}

@@ -124,6 +124,7 @@ func (c *Client) Issue(p *sim.Proc, op Op, opts ...IssueOption) (*Req, error) {
 	req.txFlags, req.txExpire = op.Flags, op.Expire
 	req.txCAS, req.txDelta = op.CAS, op.Delta
 	req.ackWanted = o.ack || c.cfg.AckWanted
+	req.retryable = o.retry != nil
 	c.enqueueWire(req, cn, c.wireFor(req, cn, req.ID))
 	c.Issued++
 	if o.deadline > 0 || o.retry != nil {
@@ -241,8 +242,26 @@ func (c *Client) retransmit(p *sim.Proc, req *Req, failover bool) {
 	}
 	c.Faults.Add("retries", 1)
 	p.Sleep(c.cfg.PrepCost)
+	// Fresh nudge per attempt: a recovering rejection of the old attempt
+	// must not short-circuit the new one's response wait.
+	req.nudge = c.env.NewEvent()
 	c.nextID++
 	c.enqueueWire(req, cn, c.wireFor(req, cn, c.nextID))
+}
+
+// awaitOutcome blocks up to d for the request to complete, returning true if
+// it did. A recovering nudge for the current attempt ends the wait early and
+// returns false: the server rejected the attempt, so there is no response to
+// keep waiting for — the guard proceeds straight to backoff and retransmit.
+func (c *Client) awaitOutcome(p *sim.Proc, req *Req, d sim.Time) bool {
+	nudge := req.nudge
+	if !nudge.Fired() {
+		// The timeout wakeup is canceled on delivery, so a guard that never
+		// needs it leaves nothing scheduled behind — the instrumentation is
+		// invisible to the run's virtual end time.
+		p.WaitTimeout(c.env.AnyOf(req.done, nudge), d)
+	}
+	return req.done.Fired()
 }
 
 // spawnGuard starts the watchdog process for a request issued with a
@@ -276,7 +295,7 @@ func (c *Client) spawnGuard(req *Req, o issueOpts) {
 					wait = rem
 				}
 			}
-			if p.WaitTimeout(req.done, wait) {
+			if c.awaitOutcome(p, req, wait) {
 				return
 			}
 			if deadline > 0 && p.Now() >= deadline {
@@ -491,6 +510,14 @@ func (cn *conn) progressEngine(p *sim.Proc) {
 			delete(cn.pending, resp.ReqID)
 			if att.abandoned || req.done.Fired() {
 				cn.c.Faults.Add("stale-responses", 1)
+				continue
+			}
+			if resp.Status == protocol.StatusRecovering && req.retryable {
+				// Fail-fast rejection while the server rebuilds from SSD:
+				// don't complete the request — nudge its guard, which backs
+				// off and retransmits (failing over when configured).
+				cn.c.Faults.Add("recovering", 1)
+				req.nudge.Fire()
 				continue
 			}
 			// Zero-copy: the value was RDMA-WRITten directly into the

@@ -3,6 +3,7 @@ package hybridslab
 import (
 	"sort"
 
+	"hybridkv/internal/pagecache"
 	"hybridkv/internal/sim"
 )
 
@@ -50,14 +51,20 @@ func (m *Manager) Compact(p *sim.Proc, liveThreshold float64) int64 {
 	return reclaimed
 }
 
-// compactPage moves a region's live items into a fresh dense region.
+// compactPage moves a region's live items into a fresh dense region. The
+// rewrite uses the same crash-consistent format as eviction flushes: a
+// checksummed header plus per-slot item records, committed by a journaled
+// commit record — a crash mid-compaction leaves the old region authoritative
+// and the half-written new region uncommitted.
 func (m *Manager) compactPage(p *sim.Proc, pg *ssdPage, items []*Item) int64 {
 	if len(items) == 0 {
 		return 0
 	}
 	pg.compacting = true
-	chunk := m.alloc.ChunkSize(items[0].class)
-	newSize := int64(len(items) * chunk)
+	gen0 := m.gen
+	class := items[0].class
+	chunk := m.alloc.ChunkSize(class)
+	newSize := regionSize(len(items), chunk)
 	newBase, ok := m.ssdAlloc(newSize)
 	if !ok {
 		pg.compacting = false
@@ -66,28 +73,52 @@ func (m *Manager) compactPage(p *sim.Proc, pg *ssdPage, items []*Item) int64 {
 	// Read the live chunks (one scattered read per item — compaction runs
 	// in the background, so latency is off the request path), then write
 	// the dense region in one sweep.
-	scheme := m.flushScheme(items[0].class)
+	scheme := m.flushScheme(class)
 	for _, it := range items {
 		if _, okR := m.file.Read(p, it.ssdOff, chunk, scheme); !okR {
 			// Raced with corruption; the item will be retired on its next
 			// Load. Skip it here.
 			continue
 		}
+		if m.gen != gen0 {
+			return 0 // cold restart mid-compaction: abandon
+		}
 	}
-	m.file.Write(p, newBase, int(newSize), nil, scheme)
+	job := flushJob{victims: items, class: class, chunk: chunk, gen: gen0}
+	data, commit := m.buildRegion(job, newBase, m.nextEpoch())
+	ok = m.file.WriteExtents(p, newBase, int(newSize)-PageCommitSize, data, scheme)
+	if m.gen != gen0 {
+		return 0
+	}
+	if ok {
+		ok = m.file.WriteCommit(p, []pagecache.Extent{commit})
+		if m.gen != gen0 {
+			return 0
+		}
+	}
+	if !ok {
+		// Device write error: the old region stays authoritative.
+		m.FlushErrors++
+		m.discardRegionExtents(newBase, job)
+		m.ssdFree[newSize] = append(m.ssdFree[newSize], newBase)
+		pg.compacting = false
+		return 0
+	}
 	newPg := &ssdPage{base: newBase, size: newSize}
 	for i, it := range items {
+		off := slotOff(newBase, i, chunk)
 		if it.dropped || !it.onSSD {
+			m.file.Discard(off)
 			continue
 		}
 		m.file.Discard(it.ssdOff)
-		off := newBase + int64(i*chunk)
-		m.file.SetExtent(off, chunk, it.Value)
 		it.ssdOff = off
 		it.ssdPage = newPg
 		newPg.live++
 	}
 	// Retire the old region entirely.
+	m.file.Discard(pg.base)
+	m.file.Discard(commitOff(pg.base, pg.size))
 	m.ssdFree[pg.size] = append(m.ssdFree[pg.size], pg.base)
 	m.ssdUsed -= pg.size
 	m.ssdUsed += newSize

@@ -84,6 +84,11 @@ type Item struct {
 	ssdOff    int64
 	ssdPage   *ssdPage
 	lru       slab.LRUEntry[*Item]
+	// gen is the manager incarnation that owns the item. A cold-restart
+	// recovery bumps the manager's generation; items from the previous
+	// incarnation (still referenced by workers that were suspended in I/O
+	// across the crash) become inert — Touch/Release/Load ignore them.
+	gen uint64
 }
 
 // ssdPage is one flushed slab page on the SSD arena. Like fatcache, the
@@ -152,16 +157,34 @@ type Manager struct {
 	ssdFree     map[int64][]int64 // fully-reclaimed flush regions by size
 	windows     map[*sim.Proc]*evictionWindow
 
+	// gen counts cold-restart recoveries: workers suspended in I/O across a
+	// crash observe a changed generation on resume and abandon their work
+	// instead of mutating the rebuilt state.
+	gen uint64
+	// epoch stamps flushed pages; the commit record must match it. It only
+	// grows, surviving recovery (restored to max-seen+1), so a newer copy of
+	// a key always carries a higher epoch.
+	epoch uint64
+	// recovering gates item operations while Recover rebuilds the state.
+	recovering bool
+	// flushFailStreak counts consecutive failed eviction flushes; past a
+	// small budget eviction sheds victims instead of retrying a failing
+	// device forever.
+	flushFailStreak int
+
 	// Stats
 	Sets, Gets, Hits       int64
 	FlushPages             int64 // slab pages flushed to SSD
-	FlushWrites            int64 // SSD write calls issued for evictions
+	FlushWrites            int64 // successful eviction data writes
+	CommitWrites           int64 // successful commit-record writes
+	FlushErrors            int64 // eviction flushes failed by device errors
 	FlushedItems           int64
 	SSDLoads               int64
 	Promotions             int64 // SSD items moved back to RAM on Get
 	CorruptLoads           int64 // uncorrectable SSD reads (data loss)
 	Compactions            int64 // arena regions rewritten densely
 	DropEvictions          int64 // items discarded entirely
+	AbortedWindows         int64 // eviction windows torn down by Crash
 	FlushTime, SSDLoadTime sim.Time
 	AsyncFlushTime         sim.Time // background write-behind time
 	AllocStalls            int64
@@ -200,11 +223,14 @@ func New(env *sim.Env, cfg Config, file *pagecache.File) *Manager {
 	return m
 }
 
-// flushJob is one staged slab eviction awaiting its SSD write.
+// flushJob is one staged slab eviction awaiting its SSD write. gen pins the
+// manager incarnation that staged it: jobs staged before a cold restart are
+// abandoned, not placed into the rebuilt arena.
 type flushJob struct {
 	victims []*Item
 	class   int
 	chunk   int
+	gen     uint64
 }
 
 // Allocator exposes the underlying slab allocator (read-only use).
@@ -249,11 +275,15 @@ func (m *Manager) loadScheme(class int) pagecache.Scheme {
 // management and any eviction I/O time. This is the "Slab Allocation"
 // stage of a Set.
 func (m *Manager) Store(p *sim.Proc, it *Item) error {
+	if m.recovering {
+		return ErrRecovering
+	}
 	class, ok := m.alloc.ClassFor(it.ValueSize + len(it.Key) + itemOverhead)
 	if !ok {
 		return ErrTooLarge
 	}
 	it.class = class
+	it.gen = m.gen
 	p.Sleep(slabMetaCost)
 	for {
 		switch m.alloc.Alloc(class) {
@@ -348,10 +378,18 @@ func (m *Manager) evictOnePage(p *sim.Proc, class int) {
 	for _, v := range victims {
 		v.inTransit = true
 	}
+	gen0 := m.gen
 	m.flushing++
 	flushBytes := len(victims) * chunk
 	t0 := p.Now()
 	p.Sleep(memcpyTime(flushBytes))
+	if m.gen != gen0 {
+		// Cold restart happened while we were buffering: the allocator and
+		// LRU state the victims belonged to is gone. Abandon them.
+		m.abandonJob(flushJob{victims: victims, class: victimClass, chunk: chunk, gen: gen0})
+		return
+	}
+	job := flushJob{victims: victims, class: victimClass, chunk: chunk, gen: gen0}
 	if m.cfg.AsyncFlush {
 		// Write-behind: the staging copy holds the data, so the RAM
 		// chunks free immediately; the background flusher performs the
@@ -360,7 +398,7 @@ func (m *Manager) evictOnePage(p *sim.Proc, class int) {
 		for range victims {
 			m.alloc.Free(victimClass)
 		}
-		m.flushQ.Put(p, flushJob{victims: victims, class: victimClass, chunk: chunk})
+		m.flushQ.Put(p, job)
 		m.FlushTime += p.Now() - t0
 		return
 	}
@@ -372,11 +410,11 @@ func (m *Manager) evictOnePage(p *sim.Proc, class int) {
 		for range victims {
 			m.alloc.Free(victimClass)
 		}
-		w.jobs = append(w.jobs, flushJob{victims: victims, class: victimClass, chunk: chunk})
+		w.jobs = append(w.jobs, job)
 		m.FlushTime += p.Now() - t0
 		return
 	}
-	m.placeVictims(p, flushJob{victims: victims, class: victimClass, chunk: chunk}, true)
+	m.placeVictims(p, job, true)
 	m.FlushTime += p.Now() - t0
 }
 
@@ -448,37 +486,103 @@ func (m *Manager) EndEvictionBatch(p *sim.Proc) {
 // that cannot get a contiguous region (arena full or fragmented) fall back
 // to per-job placement, which reuses freed regions and discards cold SSD
 // items.
+//
+// Atomicity: the run's data write covers every region's header and slots;
+// the regions' commit records then land in one further small journal write.
+// A crash (or torn write) between the two leaves the whole batch
+// uncommitted — recovery discards every one of its pages.
 func (m *Manager) placeMerged(p *sim.Proc, jobs []flushJob) {
 	for i := 0; i < len(jobs); {
 		scheme := m.flushScheme(jobs[i].class)
 		j := i
-		total := 0
+		var total int64
 		for j < len(jobs) && m.flushScheme(jobs[j].class) == scheme {
-			total += len(jobs[j].victims) * jobs[j].chunk
+			total += regionSize(len(jobs[j].victims), jobs[j].chunk)
 			j++
 		}
 		run := jobs[i:j]
 		i = j
+		if run[0].gen != m.gen {
+			// Staged before a cold restart: the rebuilt arena must not
+			// receive these pages.
+			for _, job := range run {
+				m.abandonJob(job)
+			}
+			continue
+		}
 		if len(run) == 1 {
 			m.placeVictims(p, run[0], false)
 			continue
 		}
-		base, ok := m.ssdAllocContig(int64(total))
+		base, ok := m.ssdAllocContig(total)
 		if !ok {
 			for _, job := range run {
 				m.placeVictims(p, job, false)
 			}
 			continue
 		}
-		m.file.Write(p, base, total, nil, scheme)
-		m.FlushWrites++
+		gen0 := m.gen
+		epoch := m.nextEpoch()
+		var data []pagecache.Extent
+		commits := make([]pagecache.Extent, 0, len(run))
+		bases := make([]int64, len(run))
 		off := base
-		for _, job := range run {
-			m.placeAt(job, off, false)
-			off += int64(len(job.victims) * job.chunk)
+		for k, job := range run {
+			bases[k] = off
+			d, c := m.buildRegion(job, off, epoch)
+			data = append(data, d...)
+			commits = append(commits, c)
+			off += regionSize(len(job.victims), job.chunk)
+		}
+		ok = m.file.WriteExtents(p, base, int(total), data, scheme)
+		if m.gen != gen0 {
+			for _, job := range run {
+				m.abandonJob(job)
+			}
+			continue
+		}
+		if ok {
+			m.FlushWrites++
+			ok = m.file.WriteCommit(p, commits)
+			if m.gen != gen0 {
+				for _, job := range run {
+					m.abandonJob(job)
+				}
+				continue
+			}
+		}
+		if !ok {
+			// Injected device write error on the data or commit write: the
+			// batch is not on the SSD. Keep the victims RAM-resident and
+			// return the regions to the free pool.
+			m.FlushErrors++
+			m.flushFailStreak++
+			for k, job := range run {
+				m.discardRegionExtents(bases[k], job)
+				m.ssdFree[regionSize(len(job.victims), job.chunk)] = append(m.ssdFree[regionSize(len(job.victims), job.chunk)], bases[k])
+				m.unflush(job, false)
+				m.jobDone()
+			}
+			continue
+		}
+		m.flushFailStreak = 0
+		m.CommitWrites++
+		for k, job := range run {
+			m.placeAt(job, bases[k], false)
 			m.jobDone()
 		}
 	}
+}
+
+// discardRegionExtents drops any logical/durable extents a failed or
+// abandoned region write may have placed, so the region is clean for reuse.
+func (m *Manager) discardRegionExtents(base int64, job flushJob) {
+	size := regionSize(len(job.victims), job.chunk)
+	m.file.Discard(base)
+	for i := range job.victims {
+		m.file.Discard(slotOff(base, i, job.chunk))
+	}
+	m.file.Discard(commitOff(base, size))
 }
 
 // ssdAllocContig bump-allocates one contiguous region for a merged flush.
@@ -496,18 +600,106 @@ func (m *Manager) ssdAllocContig(size int64) (int64, bool) {
 // placeVictims performs the SSD write and placement for one evicted slab.
 // freeRAM releases the victims' RAM chunks (the synchronous path; the
 // async and coalesced paths freed them at buffering time).
+//
+// The data write (header + slots) and the commit-record write are separate
+// device commands; the page becomes durable only when both land intact. On
+// an injected device write error the victims stay RAM-resident (unless the
+// device keeps failing past a small retry budget, in which case eviction
+// sheds them — a cache must make forward progress on a dying drive).
 func (m *Manager) placeVictims(p *sim.Proc, job flushJob, freeRAM bool) {
-	defer m.jobDone()
-	flushBytes := len(job.victims) * job.chunk
-	base, ok := m.ssdAlloc(int64(flushBytes))
+	if job.gen != m.gen {
+		m.abandonJob(job)
+		return
+	}
+	defer func(gen0 uint64) {
+		if m.gen == gen0 {
+			m.jobDone()
+		}
+	}(m.gen)
+	size := regionSize(len(job.victims), job.chunk)
+	base, ok := m.ssdAlloc(size)
 	if !ok {
 		// SSD full: drop the victims entirely (LRU overflow discard).
 		m.dropJob(job, freeRAM)
 		return
 	}
-	m.file.Write(p, base, flushBytes, nil, m.flushScheme(job.class))
-	m.FlushWrites++
+	gen0 := m.gen
+	data, commit := m.buildRegion(job, base, m.nextEpoch())
+	ok = m.file.WriteExtents(p, base, int(size)-PageCommitSize, data, m.flushScheme(job.class))
+	if m.gen != gen0 {
+		m.abandonJob(job)
+		return
+	}
+	if ok {
+		m.FlushWrites++
+		ok = m.file.WriteCommit(p, []pagecache.Extent{commit})
+		if m.gen != gen0 {
+			m.abandonJob(job)
+			return
+		}
+	}
+	if !ok {
+		m.FlushErrors++
+		m.flushFailStreak++
+		m.discardRegionExtents(base, job)
+		m.ssdFree[size] = append(m.ssdFree[size], base)
+		if m.flushFailStreak > flushFailBudget {
+			m.dropJob(job, freeRAM)
+			return
+		}
+		m.unflush(job, freeRAM)
+		return
+	}
+	m.flushFailStreak = 0
+	m.CommitWrites++
 	m.placeAt(job, base, freeRAM)
+}
+
+// flushFailBudget is how many consecutive eviction flushes may fail on
+// device write errors before eviction falls back to dropping victims
+// outright instead of keeping them RAM-resident (which would otherwise
+// livelock allocation against a persistently failing drive).
+const flushFailBudget = 3
+
+// unflush undoes a failed flush: the victims return to the RAM recency
+// list instead of being half-placed on the SSD. When their chunks were
+// already freed at staging time (freeRAM=false), they are re-allocated
+// without recursive eviction — victims that no longer fit are shed.
+func (m *Manager) unflush(job flushJob, freeRAM bool) {
+	for _, v := range job.victims {
+		v.inTransit = false
+		if v.dropped {
+			if freeRAM {
+				m.alloc.Free(job.class)
+			}
+			continue
+		}
+		if !freeRAM {
+			switch m.alloc.Alloc(job.class) {
+			case slab.AllocOK, slab.AllocNewPage:
+			default:
+				// No RAM left and we must not evict from a failure path:
+				// shed the victim.
+				v.Value = nil
+				v.dropped = true
+				m.DropEvictions++
+				continue
+			}
+		}
+		v.onSSD = false
+		m.lrus[job.class].PushFront(&v.lru)
+	}
+}
+
+// abandonJob discards a job staged by a previous manager incarnation (cold
+// restart while its worker was suspended): the items are unreachable from
+// the rebuilt index, and none of the rebuilt state may be touched.
+func (m *Manager) abandonJob(job flushJob) {
+	for _, v := range job.victims {
+		v.inTransit = false
+		v.Value = nil
+		v.dropped = true
+	}
 }
 
 // jobDone retires one in-flight eviction and wakes allocation waiters.
@@ -516,6 +708,12 @@ func (m *Manager) jobDone() {
 	ev := m.flushEv
 	m.flushEv = m.env.NewEvent()
 	ev.Fire()
+}
+
+// nextEpoch returns a fresh commit epoch.
+func (m *Manager) nextEpoch() uint64 {
+	m.epoch++
+	return m.epoch
 }
 
 // dropJob discards a staged job's victims entirely (SSD full).
@@ -534,24 +732,26 @@ func (m *Manager) dropJob(job flushJob, freeRAM bool) {
 }
 
 // placeAt links one staged job's victims to their SSD slots at base; the
-// write covering [base, base+len*chunk) has already been issued. Each job
-// keeps its own ssdPage so arena reclaim stays page-granular even when
-// several jobs share one merged write.
+// region write (header + slots) and its commit record have already landed.
+// Each job keeps its own ssdPage so arena reclaim stays page-granular even
+// when several jobs share one merged write.
 func (m *Manager) placeAt(job flushJob, base int64, freeRAM bool) {
 	victims, victimClass, chunk := job.victims, job.class, job.chunk
-	flushBytes := len(victims) * chunk
-	pg := &ssdPage{base: base, size: int64(flushBytes)}
+	size := regionSize(len(victims), chunk)
+	pg := &ssdPage{base: base, size: size}
 	for i, v := range victims {
 		if freeRAM {
 			m.alloc.Free(victimClass)
 		}
 		v.inTransit = false
+		off := slotOff(base, i, chunk)
 		if v.dropped {
-			// Deleted or replaced while the flush was in flight.
+			// Deleted or replaced while the flush was in flight: invalidate
+			// the slot the region write just placed so recovery cannot
+			// resurrect the dead copy.
+			m.file.Discard(off)
 			continue
 		}
-		off := base + int64(i*chunk)
-		m.file.SetExtent(off, chunk, v.Value)
 		v.onSSD = true
 		v.ssdOff = off
 		v.ssdPage = pg
@@ -561,9 +761,11 @@ func (m *Manager) placeAt(job flushJob, base int64, freeRAM bool) {
 	}
 	if pg.live == 0 {
 		// Every victim died mid-flush; recycle the region immediately.
+		m.file.Discard(base)
+		m.file.Discard(commitOff(base, size))
 		m.ssdFree[pg.size] = append(m.ssdFree[pg.size], pg.base)
 	} else {
-		m.ssdUsed += int64(flushBytes)
+		m.ssdUsed += size
 	}
 	m.FlushPages++
 }
@@ -605,6 +807,10 @@ func (m *Manager) freeSSD(it *Item) {
 	pg := it.ssdPage
 	pg.live--
 	if pg.live == 0 && !pg.compacting {
+		// The region is dead: drop its header and commit record too, so a
+		// later recovery scan doesn't wade through an all-freed page.
+		m.file.Discard(pg.base)
+		m.file.Discard(commitOff(pg.base, pg.size))
 		m.ssdFree[pg.size] = append(m.ssdFree[pg.size], pg.base)
 		m.ssdUsed -= pg.size
 	}
@@ -621,7 +827,15 @@ func (m *Manager) freeSSD(it *Item) {
 // churn); recency is tracked in the SSD-side list so overflow eviction
 // still discards the coldest items first.
 func (m *Manager) Load(p *sim.Proc, it *Item) (any, error) {
+	if m.recovering {
+		return nil, ErrRecovering
+	}
 	m.Gets++
+	if it.gen != m.gen {
+		// An item reference that crossed a cold restart: its storage
+		// belongs to the torn-down incarnation.
+		return nil, ErrDropped
+	}
 	if it.dropped {
 		return nil, ErrDropped
 	}
@@ -634,8 +848,16 @@ func (m *Manager) Load(p *sim.Proc, it *Item) (any, error) {
 	chunk := m.alloc.ChunkSize(it.class)
 	v, ok := m.file.Read(p, it.ssdOff, chunk, m.loadScheme(it.class))
 	m.SSDLoads++
+	if it.gen != m.gen {
+		return nil, ErrDropped
+	}
 	if it.dropped {
 		return nil, ErrDropped
+	}
+	if rec, isRec := v.(*itemRecord); ok && isRec {
+		// Slots store the full item record (key + metadata ride along for
+		// recovery); the value is what the caller wants.
+		v = rec.Value
 	}
 	if !ok {
 		if it.onSSD {
@@ -663,9 +885,13 @@ func (m *Manager) Load(p *sim.Proc, it *Item) (any, error) {
 // ErrDropped marks an item whose value was discarded by eviction.
 var ErrDropped = errors.New("hybridslab: item evicted")
 
+// ErrRecovering is returned while a cold-restart recovery scan is rebuilding
+// the store: callers fail fast instead of racing the rebuild.
+var ErrRecovering = errors.New("hybridslab: recovery in progress")
+
 // Touch promotes the item in its recency list (the "Cache Update" stage).
 func (m *Manager) Touch(it *Item) {
-	if it.dropped || it.inTransit {
+	if it.dropped || it.inTransit || it.gen != m.gen {
 		return
 	}
 	if it.onSSD {
@@ -678,6 +904,12 @@ func (m *Manager) Touch(it *Item) {
 // Release frees the item's storage (delete or replace).
 func (m *Manager) Release(it *Item) {
 	if it.dropped {
+		return
+	}
+	if it.gen != m.gen {
+		// Stale reference across a cold restart: its storage is gone.
+		it.Value = nil
+		it.dropped = true
 		return
 	}
 	if it.inTransit {

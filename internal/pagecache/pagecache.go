@@ -300,6 +300,158 @@ func (f *File) Read(p *sim.Proc, off int64, size int, scheme Scheme) (payload an
 	return e.payload, true
 }
 
+// Extent names one sub-extent of a larger write: the unit at which contents
+// are later read back (a slab item slot, a page header, a commit record).
+type Extent struct {
+	Off     int64 // file-relative
+	Size    int
+	Payload any
+}
+
+// WriteExtents writes [off, off+size) as one device command under the given
+// scheme — charged exactly like Write — and places each sub-extent both in
+// the file's logical view and in the device's durable view. It returns false
+// when the device injects a write error (direct I/O only, where the failure
+// is synchronous): nothing is placed, logical or durable, so a failed flush
+// cannot leave items half-placed.
+//
+// The durable placement draws one torn-write decision for the command: only
+// sub-extents wholly inside the persisted sector prefix survive a crash
+// intact; the one straddling the tear point persists torn, and later ones
+// keep whatever the media held before (typically stale data from a prior
+// region incarnation, which recovery rejects by epoch/commit mismatch).
+// Cached and mmap writes persist here too — a deliberate simplification that
+// models writeback as completing in write order.
+func (f *File) WriteExtents(p *sim.Proc, off int64, size int, exts []Extent, scheme Scheme) bool {
+	f.check(off, size)
+	c := f.c
+	switch scheme {
+	case Direct:
+		p.Sleep(c.par.SyscallCost)
+		c.dev.ServeRaw(p, true, size)
+		c.dev.Barrier(p)
+		if c.dev.InjectWriteError() {
+			return false
+		}
+	case Cached:
+		p.Sleep(c.par.SyscallCost)
+		p.Sleep(c.memcpyTime(size))
+		f.dirtyRange(p, off, size)
+		c.throttle(p)
+	case Mmap:
+		first, last := f.pageRange(off, size)
+		var faults int
+		for i := first; i <= last; i++ {
+			if _, ok := c.pages[pageKey{f.id, i}]; !ok {
+				faults++
+			}
+		}
+		if faults > 0 {
+			p.Sleep(sim.Time(faults) * c.par.FaultCost)
+			c.Faults += int64(faults)
+		}
+		p.Sleep(c.memcpyTime(size))
+		f.dirtyRange(p, off, size)
+		c.throttle(p)
+	}
+	persisted, _ := c.dev.InjectTorn(size)
+	tearAt := off + int64(persisted)
+	for _, e := range exts {
+		f.extents[e.Off] = extent{size: e.Size, payload: e.Payload}
+		end := e.Off + int64(e.Size)
+		switch {
+		case end <= tearAt:
+			c.dev.Persist(f.base+e.Off, e.Size, e.Size, e.Payload)
+		case e.Off < tearAt:
+			c.dev.Persist(f.base+e.Off, e.Size, int(tearAt-e.Off), e.Payload)
+		}
+	}
+	return true
+}
+
+// WriteCommit journals the given extents as one small ordered write (no
+// cache barrier: commit records are sector-sized and the device program of
+// the preceding data write already completed, so ordering holds). Returns
+// false when the device injects a write error; a torn commit write persists
+// only a prefix of the records, in slice order.
+func (f *File) WriteCommit(p *sim.Proc, exts []Extent) bool {
+	total := 0
+	for _, e := range exts {
+		f.check(e.Off, e.Size)
+		total += e.Size
+	}
+	c := f.c
+	p.Sleep(c.par.SyscallCost)
+	c.dev.ServeRaw(p, true, total)
+	if c.dev.InjectWriteError() {
+		return false
+	}
+	persisted, _ := c.dev.InjectTorn(total)
+	written := 0
+	for _, e := range exts {
+		f.extents[e.Off] = extent{size: e.Size, payload: e.Payload}
+		switch {
+		case written+e.Size <= persisted:
+			c.dev.Persist(f.base+e.Off, e.Size, e.Size, e.Payload)
+		case written < persisted:
+			c.dev.Persist(f.base+e.Off, e.Size, persisted-written, e.Payload)
+		}
+		written += e.Size
+	}
+	return true
+}
+
+// ReadRaw charges a synchronous direct read of [off, off+size) without
+// touching the extent maps — the recovery scan's I/O cost.
+func (f *File) ReadRaw(p *sim.Proc, off int64, size int) {
+	f.check(off, size)
+	p.Sleep(f.c.par.SyscallCost)
+	f.c.dev.ServeRaw(p, false, size)
+}
+
+// DurableOffsets lists the file-relative offsets of every durable extent in
+// the file, sorted — the recovery scan order.
+func (f *File) DurableOffsets() []int64 {
+	offs := f.c.dev.DurableOffsets(f.base, f.base+f.size)
+	for i := range offs {
+		offs[i] -= f.base
+	}
+	return offs
+}
+
+// PeekDurable returns the durable extent at the file-relative offset.
+func (f *File) PeekDurable(off int64) (blockdev.DurExtent, bool) {
+	return f.c.dev.PeekDurable(f.base + off)
+}
+
+// DurableEnd returns the file-relative end of the highest durable extent —
+// where a rebuilt bump allocator resumes.
+func (f *File) DurableEnd() int64 {
+	return f.c.dev.DurableEnd(f.base, f.base+f.size) - f.base
+}
+
+// RecoverExtents models a cold host restart for this file: the page cache
+// is dropped and the logical extent map is rebuilt from the device's
+// durable view. Torn extents are left out of the logical view — recovery
+// code inspects them through PeekDurable.
+func (f *File) RecoverExtents() {
+	f.c.Reset()
+	f.extents = make(map[int64]extent)
+	for _, off := range f.DurableOffsets() {
+		if e, ok := f.PeekDurable(off); ok && !e.Torn() {
+			f.extents[off] = extent{size: e.Size, payload: e.Payload}
+		}
+	}
+}
+
+// Reset drops every resident page (clean and dirty) — the page cache of a
+// power-cycled host.
+func (c *Cache) Reset() {
+	c.pages = make(map[pageKey]*page)
+	c.lru = list.New()
+	c.dirty = 0
+}
+
 // Msync synchronously writes back all dirty pages of the file.
 func (f *File) Msync(p *sim.Proc) {
 	c := f.c
@@ -317,8 +469,13 @@ func (f *File) Msync(p *sim.Proc) {
 	}
 }
 
-// Discard drops the extent bookkeeping at off (slab reuse).
-func (f *File) Discard(off int64) { delete(f.extents, off) }
+// Discard drops the extent bookkeeping at off (slab reuse), both in the
+// logical view and in the durable view — an invalidated slot must not be
+// resurrected by a later recovery scan.
+func (f *File) Discard(off int64) {
+	delete(f.extents, off)
+	f.c.dev.DiscardDurable(f.base + off)
+}
 
 // SetExtent records contents at off without any time charge. Callers use it
 // to place sub-extents inside a region whose I/O cost was already charged by

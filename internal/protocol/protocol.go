@@ -88,6 +88,10 @@ const (
 	StatusExists
 	// StatusBadValue rejects Incr/Decr on a non-counter value.
 	StatusBadValue
+	// StatusRecovering fails a request fast while the server rebuilds its
+	// store from the SSD after a cold restart; clients treat it as
+	// retryable backpressure.
+	StatusRecovering
 )
 
 func (s Status) String() string {
@@ -110,6 +114,8 @@ func (s Status) String() string {
 		return "EXISTS"
 	case StatusBadValue:
 		return "BAD_VALUE"
+	case StatusRecovering:
+		return "RECOVERING"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }

@@ -24,6 +24,7 @@ package server
 import (
 	"fmt"
 
+	"hybridkv/internal/hybridslab"
 	"hybridkv/internal/metrics"
 	"hybridkv/internal/protocol"
 	"hybridkv/internal/sim"
@@ -128,6 +129,12 @@ type Server struct {
 
 	started bool
 	down    bool
+	// recovering is set from a cold restart until the SSD recovery scan
+	// completes; every request in the window is answered StatusRecovering.
+	recovering bool
+	// gen counts crashes: work buffered or suspended across a crash carries
+	// a stale gen and is discarded instead of answered after restart.
+	gen uint64
 
 	// Stats
 	Requests int64
@@ -138,6 +145,16 @@ type Server struct {
 	// Discarded counts requests dropped because they arrived (or finished a
 	// storage phase) while the server was crashed.
 	Discarded int64
+	// Rejected counts requests answered StatusRecovering during a cold
+	// restart's recovery window.
+	Rejected int64
+	// Recovery holds the cold-restart counters ("pages-scanned",
+	// "pages-recovered", "pages-discarded", "items-recovered", ...).
+	Recovery *metrics.Counters
+	// LastRecovery is the most recent cold-restart recovery report;
+	// RecoveryTime is its virtual duration.
+	LastRecovery hybridslab.RecoveryReport
+	RecoveryTime sim.Time
 }
 
 type rdmaConn struct {
@@ -150,6 +167,9 @@ type task struct {
 	// batch is set instead of req for a coalesced frame: one storage worker
 	// executes the whole batch's storage phases back-to-back.
 	batch *protocol.BatchFrame
+	// gen is the server generation at buffering time; a worker popping a
+	// task from before a crash discards it instead of answering.
+	gen uint64
 }
 
 // NewRDMA creates an RDMA-transport server on node.
@@ -164,6 +184,7 @@ func NewRDMA(env *sim.Env, node *simnet.Node, st *store.Store, cfg Config) *Serv
 		cfg:       cfg,
 		dev:       verbs.OpenDevice(node),
 		connByQPN: make(map[int]*rdmaConn),
+		Recovery:  metrics.NewCounters(),
 	}
 	s.recvCQ = s.dev.CreateCQ(0)
 	s.sendCQ = s.dev.CreateCQ(0)
@@ -177,10 +198,11 @@ func NewIPoIB(env *sim.Env, node *simnet.Node, st *store.Store, cfg Config) *Ser
 		cfg.Name = "server:" + node.Name()
 	}
 	return &Server{
-		env:  env,
-		st:   st,
-		cfg:  cfg,
-		host: verbs.NewHost(node),
+		env:      env,
+		st:       st,
+		cfg:      cfg,
+		host:     verbs.NewHost(node),
+		Recovery: metrics.NewCounters(),
 	}
 }
 
@@ -242,11 +264,48 @@ func (s *Server) Down() bool { return s.down }
 // re-posted so retried requests don't overflow the QP), and the store keeps
 // its contents — this models a process wedge / fail-stop with warm restart,
 // the case clients must survive via deadlines and failover.
-func (s *Server) Crash() { s.down = true }
+//
+// Any eviction-coalescing window open at crash time is torn down: its
+// deferred SSD writes die with the process, so Restart never resumes a
+// half-open batch (the suspended worker's EndEvictionBatch becomes a no-op
+// and its finished storage work is discarded by the generation check).
+func (s *Server) Crash() {
+	s.down = true
+	s.gen++
+	s.st.Manager().AbortEvictionBatches()
+}
 
-// Restart brings a crashed server back. Requests arriving from now on are
-// served normally against the intact store.
+// Restart brings a crashed server back warm. Requests arriving from now on
+// are served normally against the intact store.
 func (s *Server) Restart() { s.down = false }
+
+// RestartCold brings a crashed server back after a power cycle: RAM state is
+// gone and the store must be rebuilt from the SSD. The recovery scan runs as
+// its own process; until it completes, every request is answered
+// StatusRecovering so clients fail fast (and guarded ones retry or fail
+// over) instead of queueing behind the scan.
+func (s *Server) RestartCold() {
+	s.down = false
+	s.recovering = true
+	s.env.Spawn(s.cfg.Name+"/recovery", func(p *sim.Proc) {
+		t0 := p.Now()
+		rep := s.st.RecoverCold(p)
+		s.LastRecovery = rep
+		s.RecoveryTime = p.Now() - t0
+		s.Recovery.Add("recoveries", 1)
+		s.Recovery.Add("pages-scanned", rep.PagesScanned)
+		s.Recovery.Add("pages-recovered", rep.PagesRecovered)
+		s.Recovery.Add("pages-discarded", rep.PagesDiscarded)
+		s.Recovery.Add("pages-torn", rep.PagesTorn)
+		s.Recovery.Add("pages-uncommitted", rep.PagesUncommitted)
+		s.Recovery.Add("items-recovered", rep.ItemsRecovered)
+		s.Recovery.Add("items-missing", rep.ItemsMissing)
+		s.recovering = false
+	})
+}
+
+// Recovering reports whether a cold-restart recovery scan is in progress.
+func (s *Server) Recovering() bool { return s.recovering }
 
 // ScheduleCrash arranges a crash at from and a restart at to (virtual time).
 func (s *Server) ScheduleCrash(from, to sim.Time) {
@@ -289,14 +348,27 @@ func (s *Server) dispatchOne(p *sim.Proc, conn *rdmaConn, req *protocol.Request)
 	}
 	p.Sleep(s.cfg.ParseCost)
 	s.Requests++
+	if s.recovering {
+		// Cold-restart recovery in progress: fail fast with a retryable
+		// status instead of queueing the request behind the scan.
+		s.Rejected++
+		s.respond(p, conn, req, &protocol.Response{
+			Op: protocol.OpResponse, ReqID: req.ReqID,
+			Status: protocol.StatusRecovering,
+		})
+		conn.qp.PostRecv(verbs.RecvWR{})
+		return
+	}
+	gen0 := s.gen
 	if s.cfg.Pipeline == Sync {
 		// Storage phase inline; the receive slot is held until the
 		// request finishes (the client's credit comes back with the
 		// response).
 		resp := s.st.Handle(p, req)
-		if s.down {
+		if s.down || s.gen != gen0 {
 			// Crashed mid-storage-phase (e.g. during a hybrid eviction):
-			// the response is lost with the process.
+			// the response is lost with the process, even if the server
+			// already restarted by the time the storage phase unwound.
 			s.Discarded++
 			conn.qp.PostRecv(verbs.RecvWR{})
 			return
@@ -313,7 +385,7 @@ func (s *Server) dispatchOne(p *sim.Proc, conn *rdmaConn, req *protocol.Request)
 	if req.AckWanted {
 		s.sendAck(p, conn, req)
 	}
-	s.reqQ.Put(p, task{req: req, conn: conn})
+	s.reqQ.Put(p, task{req: req, conn: conn, gen: gen0})
 }
 
 // dispatchBatch unpacks a coalesced frame in one communication phase: one
@@ -330,9 +402,22 @@ func (s *Server) dispatchBatch(p *sim.Proc, conn *rdmaConn, frame *protocol.Batc
 	p.Sleep(s.cfg.ParseCost + sim.Time(n-1)*s.cfg.BatchOpCost)
 	s.Requests += int64(n)
 	s.Batches++
+	if s.recovering {
+		// Reject every member fast; one receive-repost for the frame.
+		s.Rejected += int64(n)
+		for _, req := range frame.Reqs {
+			s.respond(p, conn, req, &protocol.Response{
+				Op: protocol.OpResponse, ReqID: req.ReqID,
+				Status: protocol.StatusRecovering,
+			})
+		}
+		conn.qp.PostRecv(verbs.RecvWR{})
+		return
+	}
+	gen0 := s.gen
 	if s.cfg.Pipeline == Sync {
 		resps := s.st.HandleBatch(p, frame.Reqs)
-		if s.down {
+		if s.down || s.gen != gen0 {
 			s.Discarded += int64(n)
 			conn.qp.PostRecv(verbs.RecvWR{})
 			return
@@ -351,7 +436,7 @@ func (s *Server) dispatchBatch(p *sim.Proc, conn *rdmaConn, frame *protocol.Batc
 	if frame.AckWanted {
 		s.sendBatchAck(p, conn, frame)
 	}
-	s.reqQ.Put(p, task{batch: frame, conn: conn})
+	s.reqQ.Put(p, task{batch: frame, conn: conn, gen: gen0})
 }
 
 // storageWorker executes buffered requests and responds.
@@ -365,13 +450,15 @@ func (s *Server) storageWorker(p *sim.Proc) {
 			s.workBatch(p, t)
 			continue
 		}
-		if s.down {
+		if s.down || t.gen != s.gen {
+			// Crashed, or a task buffered before a crash: the buffered
+			// request died with the process.
 			s.Discarded++
 			s.slots.ReleaseN(t.req.WireSize())
 			continue
 		}
 		resp := s.st.Handle(p, t.req)
-		if s.down {
+		if s.down || t.gen != s.gen {
 			// Crashed mid-storage-phase: drop the finished work.
 			s.Discarded++
 			s.slots.ReleaseN(t.req.WireSize())
@@ -388,13 +475,13 @@ func (s *Server) storageWorker(p *sim.Proc) {
 func (s *Server) workBatch(p *sim.Proc, t task) {
 	size := t.batch.WireSize()
 	n := int64(len(t.batch.Reqs))
-	if s.down {
+	if s.down || t.gen != s.gen {
 		s.Discarded += n
 		s.slots.ReleaseN(size)
 		return
 	}
 	resps := s.st.HandleBatch(p, t.batch.Reqs)
-	if s.down {
+	if s.down || t.gen != s.gen {
 		// Crashed mid-storage-phase: drop the finished work.
 		s.Discarded += n
 		s.slots.ReleaseN(size)
@@ -486,8 +573,17 @@ func (s *Server) ipoibHandler(p *sim.Proc, stream *verbs.Stream) {
 			}
 			p.Sleep(s.cfg.ParseCost)
 			s.Requests++
+			if s.recovering {
+				s.Rejected++
+				s.ipoibRespond(p, stream, &protocol.Response{
+					Op: protocol.OpResponse, ReqID: pl.ReqID,
+					Status: protocol.StatusRecovering,
+				})
+				continue
+			}
+			gen0 := s.gen
 			resp := s.st.Handle(p, pl)
-			if s.down {
+			if s.down || s.gen != gen0 {
 				s.Discarded++
 				continue
 			}
@@ -504,8 +600,19 @@ func (s *Server) ipoibHandler(p *sim.Proc, stream *verbs.Stream) {
 			p.Sleep(s.cfg.ParseCost + sim.Time(n-1)*s.cfg.BatchOpCost)
 			s.Requests += n
 			s.Batches++
+			if s.recovering {
+				s.Rejected += n
+				for _, req := range pl.Reqs {
+					s.ipoibRespond(p, stream, &protocol.Response{
+						Op: protocol.OpResponse, ReqID: req.ReqID,
+						Status: protocol.StatusRecovering,
+					})
+				}
+				continue
+			}
+			gen0 := s.gen
 			resps := s.st.HandleBatch(p, pl.Reqs)
-			if s.down {
+			if s.down || s.gen != gen0 {
 				s.Discarded += n
 				continue
 			}

@@ -7,6 +7,8 @@
 package store
 
 import (
+	"errors"
+
 	"hybridkv/internal/hybridslab"
 	"hybridkv/internal/metrics"
 	"hybridkv/internal/protocol"
@@ -94,6 +96,22 @@ func (s *Store) Stats() Stats {
 // Len returns the number of live keys.
 func (s *Store) Len() int { return len(s.table) }
 
+// RecoverCold rebuilds the store from the SSD after a cold restart: the hash
+// table is rebuilt from scratch out of the manager's recovery scan, and the
+// CAS counter resumes above the highest recovered token so post-recovery
+// stores never reuse a pre-crash CAS value.
+func (s *Store) RecoverCold(p *sim.Proc) hybridslab.RecoveryReport {
+	s.table = make(map[string]*hybridslab.Item)
+	items, rep := s.mgr.Recover(p)
+	for _, it := range items {
+		s.table[it.Key] = it
+	}
+	if rep.MaxCAS > s.cas {
+		s.cas = rep.MaxCAS
+	}
+	return rep
+}
+
 // Set stores a value, charging p the slab-allocation and cache-update
 // stages. Returns StatusStored, or StatusTooLarge.
 func (s *Store) Set(p *sim.Proc, key string, valueSize int, value any, flags uint32, expire uint32) protocol.Status {
@@ -113,6 +131,9 @@ func (s *Store) Set(p *sim.Proc, key string, valueSize int, value any, flags uin
 	}
 	if err := s.mgr.Store(p, it); err != nil {
 		s.Prof.Add(metrics.StageSlabAlloc, p.Now()-t0)
+		if errors.Is(err, hybridslab.ErrRecovering) {
+			return protocol.StatusRecovering
+		}
 		return protocol.StatusTooLarge
 	}
 	s.Prof.Add(metrics.StageSlabAlloc, p.Now()-t0)
@@ -158,6 +179,11 @@ func (s *Store) Get(p *sim.Proc, key string) (value any, size int, flags uint32,
 	v, err := s.mgr.Load(p, it)
 	s.Prof.Add(metrics.StageCacheLoad, p.Now()-t0)
 	if err != nil {
+		if errors.Is(err, hybridslab.ErrRecovering) {
+			// Transient rejection, not a dead key: the item may well be
+			// recovered — keep the table entry and fail the request fast.
+			return nil, 0, 0, 0, protocol.StatusRecovering
+		}
 		// Value dropped by eviction: the key is dead.
 		delete(s.table, key)
 		s.GetMisses++
