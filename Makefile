@@ -18,11 +18,12 @@ race:
 smoke:
 	$(GO) run ./cmd/mc-bench -smoke
 
-# The crash-consistency gate: fault-injection and cold-restart recovery
-# experiments at smoke scale. Also covered by the full `smoke` run; kept
-# as an explicit target so failures name the robustness suite directly.
+# The robustness gate: fault-injection, cold-restart recovery, bounded
+# admission under overload, and the chaos-soak invariant checker, all at
+# smoke scale. Also covered by the full `smoke` run; kept as an explicit
+# target so failures name the robustness suite directly.
 robustness:
-	$(GO) run ./cmd/mc-bench -smoke faults recovery
+	$(GO) run ./cmd/mc-bench -smoke faults recovery overload chaos
 
 # The pre-merge gate: static analysis, the full suite under the race
 # detector, the robustness gate, and a registry smoke run.

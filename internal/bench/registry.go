@@ -31,6 +31,8 @@ var Registry = []Experiment{
 	{"faults", "Degraded mode: tail latency and goodput under a fault schedule", faultsExp},
 	{"batching", "Doorbell batching: batch size sweep over every design", batchingExp},
 	{"recovery", "Cold-restart recovery: crash consistency under torn writes", recoveryExp},
+	{"overload", "Graceful degradation: bounded admission and shedding under bursty arrivals", overloadExp},
+	{"chaos", "Chaos soak: faults + crashes + overload under the history invariant checker", chaosExp},
 }
 
 // ByID finds an experiment, or nil.

@@ -139,6 +139,9 @@ type Config struct {
 	SlabPageSize int
 	// AsyncFlush enables write-behind eviction (paper future work).
 	AsyncFlush bool
+	// Overload configures bounded admission with load shedding on async
+	// servers (zero value: blocking reservation, exactly as before).
+	Overload server.OverloadConfig
 	// Client seeds every client's core.Config (timeout/retry knobs for
 	// degraded-mode runs); its Transport is forced to the design's.
 	Client core.Config
@@ -217,6 +220,7 @@ func New(cfg Config) *Cluster {
 			Pipeline:       cfg.Design.Pipeline(),
 			StorageWorkers: cfg.StorageWorkers,
 			BufferBytes:    cfg.BufferBytes,
+			Overload:       cfg.Overload,
 		}
 		var srv *server.Server
 		if cfg.Design.Transport() == core.RDMA {

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"hybridkv/internal/sim"
+)
+
+// Per-server circuit breaker. A connection whose server answers consecutive
+// busy rejections or attempt timeouts trips open: pick() then routes its
+// keys around the saturated replica via the failover ring instead of
+// feeding it more load. After a cooldown the breaker half-opens and admits
+// a single probe request; a real response re-closes it, another failure
+// re-opens it. State transitions are counted in Client.Faults
+// ("breaker-open", "breaker-halfopen", "breaker-close") and reroutes in
+// "breaker-reroutes".
+
+// BreakerConfig configures the per-connection circuit breaker. The zero
+// value disables it entirely: no breaker is attached and routing is
+// byte-identical to a breaker-less client.
+type BreakerConfig struct {
+	// Threshold opens the breaker after this many consecutive busy
+	// rejections or attempt timeouts from one server (0 disables).
+	Threshold int
+	// Cooldown is how long an open breaker deflects traffic before
+	// half-opening to admit one probe (default 1 ms).
+	Cooldown sim.Time
+}
+
+type breakerState int
+
+const (
+	bkClosed breakerState = iota
+	bkOpen
+	bkHalfOpen
+)
+
+type breaker struct {
+	c        *Client
+	cfg      BreakerConfig
+	state    breakerState
+	fails    int // consecutive failures while closed
+	openedAt sim.Time
+	probing  bool // half-open: the single probe is in flight
+}
+
+func newBreaker(c *Client, cfg BreakerConfig) *breaker {
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = sim.Millisecond
+	}
+	return &breaker{c: c, cfg: cfg}
+}
+
+// allow reports whether new traffic may be sent to this server, moving an
+// open breaker to half-open (single probe) once the cooldown has elapsed.
+func (b *breaker) allow() bool {
+	switch b.state {
+	case bkClosed:
+		return true
+	case bkOpen:
+		if b.c.env.Now()-b.openedAt < b.cfg.Cooldown {
+			return false
+		}
+		b.state = bkHalfOpen
+		b.probing = true
+		b.c.Faults.Add("breaker-halfopen", 1)
+		return true
+	default: // half-open: exactly one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// onSuccess records a real response: the server is serving, so any
+// half-open probe (or lingering failure streak) resets to closed.
+func (b *breaker) onSuccess() {
+	if b.state != bkClosed {
+		b.c.Faults.Add("breaker-close", 1)
+	}
+	b.state = bkClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// onFailure records a busy rejection or attempt timeout. A failed half-open
+// probe re-opens immediately; while closed, Threshold consecutive failures
+// trip the breaker.
+func (b *breaker) onFailure() {
+	switch b.state {
+	case bkHalfOpen:
+		b.trip()
+	case bkClosed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.trip()
+		}
+	}
+}
+
+func (b *breaker) trip() {
+	b.state = bkOpen
+	b.openedAt = b.c.env.Now()
+	b.fails = 0
+	b.probing = false
+	b.c.Faults.Add("breaker-open", 1)
+}
+
+// noteSuccess / noteFailure feed the connection's breaker, if one is
+// attached. Kept on conn so every caller tolerates a disabled breaker.
+func (cn *conn) noteSuccess() {
+	if cn.brk != nil {
+		cn.brk.onSuccess()
+	}
+}
+
+func (cn *conn) noteFailure() {
+	if cn.brk != nil {
+		cn.brk.onFailure()
+	}
+}
+
+// allows reports whether cn accepts new traffic (no breaker, or breaker
+// lets it through).
+func (cn *conn) allows() bool {
+	return cn.brk == nil || cn.brk.allow()
+}

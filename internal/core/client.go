@@ -88,6 +88,9 @@ type Config struct {
 	// RecvRetries is the resend budget per IPoIB operation when RecvTimeout
 	// is set.
 	RecvRetries int
+	// Breaker attaches a per-server circuit breaker to every connection
+	// (see BreakerConfig). Zero value = no breakers, routing unchanged.
+	Breaker BreakerConfig
 }
 
 func (c *Config) fill() {
@@ -133,14 +136,23 @@ type Req struct {
 
 	done     *sim.Event // server response received ("completion flag")
 	reusable *sim.Event // user buffers reusable
-	nudge    *sim.Event // guard wakeup: attempt rejected as retryable (recovering)
+	nudge    *sim.Event // guard wakeup: attempt rejected as retryable (recovering/busy)
 	c        *Client
 	conn     *conn    // connection of the current attempt
 	cur      *attempt // current (latest) attempt
 
-	// retryable marks a request issued under WithRetry: a StatusRecovering
-	// rejection nudges its guard instead of completing the request.
+	// retryable marks a request issued under WithRetry: a retryable
+	// rejection (StatusRecovering, StatusBusy) nudges its guard instead of
+	// completing the request.
 	retryable bool
+	// rejected is the sentinel of the current attempt's retryable
+	// rejection (ErrBusy, ErrRecovering); cleared on retransmit. When the
+	// retry budget runs out right after such a rejection, Err surfaces it
+	// instead of the generic deadline error.
+	rejected error
+	// retryAfter is the server's busy hint: it floors the guard's next
+	// backoff. Cleared on retransmit.
+	retryAfter sim.Time
 
 	// Outcome flags behind Err.
 	timedOut bool
@@ -218,6 +230,9 @@ type conn struct {
 	// IPoIB state
 	stream   *verbs.Stream
 	buffered []*protocol.Request // libmemcached-style deferred Sets
+	// brk is the per-server circuit breaker (nil when Config.Breaker is
+	// zero: no state, no routing change).
+	brk *breaker
 }
 
 // New creates a client on node. Connections are added with ConnectRDMA or
@@ -274,6 +289,9 @@ func (c *Client) ConnectRDMA(srv RDMAServer) {
 		pending:      make(map[uint64]*attempt),
 		pendingBatch: make(map[uint64]*txBatch),
 	}
+	if c.cfg.Breaker.Threshold > 0 {
+		cn.brk = newBreaker(c, c.cfg.Breaker)
+	}
 	srv.AcceptQP(qp)
 	// The client consumes one local receive per inbound WRITE_IMM; keep a
 	// generous pool re-posted by the progress engine.
@@ -298,16 +316,34 @@ func (c *Client) ConnectIPoIB(srv IPoIBServer) {
 		panic("core: ConnectIPoIB on an RDMA client")
 	}
 	cn := &conn{c: c, serverID: len(c.conns), stream: c.host.Dial(srv.Host())}
+	if c.cfg.Breaker.Threshold > 0 {
+		cn.brk = newBreaker(c, c.cfg.Breaker)
+	}
 	c.conns = append(c.conns, cn)
 	c.ring.add(cn.serverID)
 }
 
-// pick selects the connection for a key via the ketama-style ring.
+// pick selects the connection for a key via the ketama-style ring. With
+// breakers attached, a key whose home server's breaker is open is routed
+// around the saturated replica in failover-ring order; when every breaker
+// is open, the home server takes the traffic anyway (failing through beats
+// failing everything locally).
 func (c *Client) pick(key string) *conn {
 	if len(c.conns) == 0 {
 		panic("core: no server connections")
 	}
-	return c.conns[c.ring.pick(key)]
+	cn := c.conns[c.ring.pick(key)]
+	if cn.allows() {
+		return cn
+	}
+	for i := 1; i < len(c.conns); i++ {
+		alt := c.conns[(cn.serverID+i)%len(c.conns)]
+		if alt.allows() {
+			c.Faults.Add("breaker-reroutes", 1)
+			return alt
+		}
+	}
+	return cn
 }
 
 // newReq builds a request handle.
@@ -523,6 +559,7 @@ func (c *Client) ipoibExchange(p *sim.Proc, cn *conn, req *Req, wire *protocol.R
 			req.timedOut = true
 			req.Status = protocol.StatusError
 			c.Faults.Add("timeouts", 1)
+			cn.noteFailure()
 			break
 		}
 		if !ok {
@@ -533,6 +570,7 @@ func (c *Client) ipoibExchange(p *sim.Proc, cn *conn, req *Req, wire *protocol.R
 		if resp.ReqID != req.ID {
 			continue // stale reply from an abandoned request
 		}
+		cn.noteSuccess()
 		p.Sleep(memcpyTime(resp.ValueSize))
 		req.Status = resp.Status
 		req.Value = resp.Value

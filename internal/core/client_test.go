@@ -31,6 +31,10 @@ type rigOpts struct {
 	memLimit  int64
 	hybrid    bool
 	policy    hybridslab.IOPolicy
+	// serverCfg / clientCfg optionally tweak the configs beyond the
+	// defaults (overload admission, breakers, buffer sizes).
+	serverCfg func(*server.Config)
+	clientCfg func(*Config)
 }
 
 func newTestRig(o rigOpts) *testRig {
@@ -59,17 +63,25 @@ func newTestRig(o rigOpts) *testRig {
 			Policy: o.policy,
 		}, file)
 		st := store.New(env, mgr)
+		scfg := server.Config{Pipeline: o.pipeline}
+		if o.serverCfg != nil {
+			o.serverCfg(&scfg)
+		}
 		var srv *server.Server
 		if o.transport == RDMA {
-			srv = server.NewRDMA(env, node, st, server.Config{Pipeline: o.pipeline})
+			srv = server.NewRDMA(env, node, st, scfg)
 		} else {
-			srv = server.NewIPoIB(env, node, st, server.Config{})
+			srv = server.NewIPoIB(env, node, st, scfg)
 		}
 		srv.Start()
 		r.servers = append(r.servers, srv)
 	}
 	cnode := fab.AddNode("client0")
-	r.client = New(env, cnode, Config{Transport: o.transport})
+	ccfg := Config{Transport: o.transport}
+	if o.clientCfg != nil {
+		o.clientCfg(&ccfg)
+	}
+	r.client = New(env, cnode, ccfg)
 	for _, srv := range r.servers {
 		if o.transport == RDMA {
 			r.client.ConnectRDMA(srv)

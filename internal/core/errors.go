@@ -32,6 +32,11 @@ var (
 	// retryable: guarded requests back off and retransmit instead of
 	// completing with this error.
 	ErrRecovering = errors.New("core: server recovering")
+	// ErrBusy reports a request shed by the server's bounded-admission
+	// layer: buffer memory or storage-queue depth was over the op class's
+	// watermark. Retryable; the busy response's retry-after hint floors
+	// the guard's next backoff.
+	ErrBusy = errors.New("core: server busy")
 	// ErrInFlight reports Err called before the operation completed.
 	ErrInFlight = errors.New("core: request still in flight")
 )
@@ -54,19 +59,47 @@ func statusErr(s protocol.Status) error {
 		return ErrTooLarge
 	case protocol.StatusRecovering:
 		return ErrRecovering
+	case protocol.StatusBusy:
+		return ErrBusy
 	default:
 		return ErrServer
 	}
 }
 
+// The retryable classification used everywhere a rejection can trigger a
+// retransmit — the progress engine's nudge path, the retry guard's backoff
+// loop, and failover — lives in this one table so a new retryable status
+// cannot be half-wired.
+
+// RetryableStatus reports whether a response status is transient
+// backpressure: the server refused the request but another attempt (after
+// backoff, possibly on another replica) may succeed.
+func RetryableStatus(s protocol.Status) bool {
+	return s == protocol.StatusRecovering || s == protocol.StatusBusy
+}
+
+// Retryable reports whether err is transient: a rejection or timeout that
+// WithRetry may absorb. Definite outcomes (ErrNotFound, ErrExists, ...)
+// are not retryable — retrying cannot change them.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrRecovering) || errors.Is(err, ErrBusy) ||
+		errors.Is(err, ErrDeadlineExceeded)
+}
+
 // Err returns the operation outcome as an error: nil on success,
 // ErrCanceled / ErrDeadlineExceeded for local abandonment, ErrInFlight
-// before completion, and the protocol status's sentinel otherwise.
+// before completion, and the protocol status's sentinel otherwise. A
+// guarded request whose budget ran out right after a retryable rejection
+// surfaces that rejection's sentinel (ErrBusy, ErrRecovering) rather than
+// the generic deadline error: the caller learns *why* the attempts failed.
 func (r *Req) Err() error {
 	switch {
 	case r.canceled:
 		return ErrCanceled
 	case r.timedOut:
+		if r.rejected != nil {
+			return r.rejected
+		}
 		return ErrDeadlineExceeded
 	case !r.done.Fired():
 		return ErrInFlight

@@ -83,6 +83,7 @@ type issueOpts struct {
 	ack      bool
 	deadline sim.Time // budget from issue time; 0 = none
 	retry    *RetryPolicy
+	hedge    sim.Time // GET hedging threshold; 0 = none
 }
 
 // WithBufferAck requests a server BufferAck and blocks Issue until the
@@ -102,6 +103,15 @@ func WithDeadline(d sim.Time) IssueOption {
 // with WithDeadline to bound the total time across all attempts.
 func WithRetry(rp RetryPolicy) IssueOption {
 	return func(o *issueOpts) { o.retry = &rp }
+}
+
+// WithHedge mirrors a GET to the next server on the failover ring if no
+// response arrived within d: first answer wins, the loser is absorbed as a
+// stale response. Tames tail latency when one replica is saturated, at the
+// cost of duplicate load. GET-only (hedging a store would double-apply it)
+// and a no-op on single-connection clients.
+func WithHedge(d sim.Time) IssueOption {
+	return func(o *issueOpts) { o.hedge = d }
 }
 
 // Issue starts one operation described by op, applying the given options,
@@ -129,6 +139,9 @@ func (c *Client) Issue(p *sim.Proc, op Op, opts ...IssueOption) (*Req, error) {
 	c.Issued++
 	if o.deadline > 0 || o.retry != nil {
 		c.spawnGuard(req, o)
+	}
+	if o.hedge > 0 && op.Code == protocol.OpGet && len(c.conns) > 1 {
+		c.spawnHedge(req, o.hedge)
 	}
 	// Inside an explicit batch window nothing is on the wire yet, so
 	// WithBufferAck cannot block here; the buffers become reusable after
@@ -207,6 +220,11 @@ func (c *Client) expire(req *Req) {
 	}
 	req.timedOut = true
 	req.Status = protocol.StatusError
+	if req.rejected == nil && req.cur != nil && !req.cur.abandoned {
+		// The final attempt got no answer at all — a timeout the breaker
+		// counts alongside busy rejections.
+		req.cur.cn.noteFailure()
+	}
 	c.abandon(req.cur)
 	req.CompletedAt = c.env.Now()
 	c.Faults.Add("timeouts", 1)
@@ -234,17 +252,34 @@ func (c *Client) Cancel(req *Req) {
 // next connection when failing over.
 func (c *Client) retransmit(p *sim.Proc, req *Req, failover bool) {
 	old := req.cur
+	if !req.nudge.Fired() {
+		// No rejection arrived: the attempt timed out outright.
+		old.cn.noteFailure()
+	}
 	c.abandon(old)
 	cn := old.cn
 	if failover && len(c.conns) > 1 {
 		cn = c.conns[(old.cn.serverID+1)%len(c.conns)]
+		if !cn.allows() {
+			// Route the retransmit around open breakers too; if every
+			// alternative is saturated, the next-conn default stands.
+			for i := 2; i < len(c.conns); i++ {
+				if alt := c.conns[(old.cn.serverID+i)%len(c.conns)]; alt.allows() {
+					cn = alt
+					break
+				}
+			}
+		}
 		c.Faults.Add("failovers", 1)
 	}
 	c.Faults.Add("retries", 1)
 	p.Sleep(c.cfg.PrepCost)
-	// Fresh nudge per attempt: a recovering rejection of the old attempt
-	// must not short-circuit the new one's response wait.
+	// Fresh nudge per attempt: a recovering/busy rejection of the old
+	// attempt must not short-circuit the new one's response wait, and its
+	// sentinel and backoff hint belong to the old attempt alone.
 	req.nudge = c.env.NewEvent()
+	req.rejected = nil
+	req.retryAfter = 0
 	c.nextID++
 	c.enqueueWire(req, cn, c.wireFor(req, cn, c.nextID))
 }
@@ -310,6 +345,11 @@ func (c *Client) spawnGuard(req *Req, o issueOpts) {
 			if pol.Jitter > 0 {
 				d += sim.Time(float64(backoff) * pol.Jitter * rng.Float64())
 			}
+			if req.retryAfter > d {
+				// The server's busy hint floors the backoff: it knows its
+				// own storage backlog better than our doubling schedule.
+				d = req.retryAfter
+			}
 			backoff *= 2
 			if backoff > pol.MaxBackoff {
 				backoff = pol.MaxBackoff
@@ -325,6 +365,26 @@ func (c *Client) spawnGuard(req *Req, o issueOpts) {
 			}
 			c.retransmit(p, req, pol.Failover)
 		}
+	})
+}
+
+// spawnHedge starts the hedging process for a GET issued with WithHedge:
+// if the request is still unanswered after the threshold, the GET is
+// mirrored to the next connection on the failover ring as an extra attempt
+// — without abandoning the primary, so the first response (either server)
+// completes the request and the other is absorbed as stale with its own
+// credit return.
+func (c *Client) spawnHedge(req *Req, after sim.Time) {
+	name := fmt.Sprintf("client/hedge%d", req.ID)
+	c.env.Spawn(name, func(p *sim.Proc) {
+		if p.WaitTimeout(req.done, after) || req.done.Fired() {
+			return
+		}
+		cn := c.conns[(req.conn.serverID+1)%len(c.conns)]
+		c.Faults.Add("hedges", 1)
+		p.Sleep(c.cfg.PrepCost)
+		c.nextID++
+		c.enqueueWire(req, cn, c.wireFor(req, cn, c.nextID))
 	})
 }
 
@@ -512,11 +572,26 @@ func (cn *conn) progressEngine(p *sim.Proc) {
 				cn.c.Faults.Add("stale-responses", 1)
 				continue
 			}
-			if resp.Status == protocol.StatusRecovering && req.retryable {
-				// Fail-fast rejection while the server rebuilds from SSD:
-				// don't complete the request — nudge its guard, which backs
-				// off and retransmits (failing over when configured).
-				cn.c.Faults.Add("recovering", 1)
+			if resp.Status == protocol.StatusBusy {
+				// Shed at admission: breaker food, unlike recovering — a
+				// recovering server is rebuilding, not saturated.
+				cn.noteFailure()
+				cn.c.Faults.Add("busy", 1)
+			} else {
+				cn.noteSuccess()
+			}
+			if RetryableStatus(resp.Status) && req.retryable {
+				// Fail-fast rejection — cold-restart recovery or admission
+				// shedding: don't complete the request. Record the attempt's
+				// sentinel and any retry-after hint, then nudge its guard,
+				// which backs off and retransmits (failing over when
+				// configured).
+				req.rejected = statusErr(resp.Status)
+				if resp.Status == protocol.StatusBusy {
+					req.retryAfter = sim.Time(resp.RetryAfterUS) * sim.Microsecond
+				} else {
+					cn.c.Faults.Add("recovering", 1)
+				}
 				req.nudge.Fire()
 				continue
 			}

@@ -1,0 +1,198 @@
+// Package history records client-observed operation histories and checks
+// them against the cache's safety and liveness invariants. It is the
+// chaos-soak oracle: the bench harness runs faults + crashes + overload
+// together, logs every guarded operation a checker worker performed, and
+// Check replays the log offline.
+//
+// The invariants are scoped to what a crash-consistent *cache* actually
+// promises — not a strict-serializable store:
+//
+//   - acked-write-lost: a write the server acknowledged (BufferAck) must
+//     eventually complete unless a crash intervened. Admission shedding
+//     happens strictly before the ack, so an acked write failing without a
+//     crash means buffered work was dropped — the bug the shed path must
+//     never introduce.
+//   - stale-read: within a crash-free window, a read hit must observe at
+//     least the newest CAS-chained value whose write completed before the
+//     read was issued. Misses are always legal (eviction is a cache's
+//     right); values from before a crash are excused because a warm crash
+//     loses buffered work and a cold restart legally resurrects older
+//     SSD-resident epochs.
+//   - future-read: a read must never observe a sequence number that no
+//     writer ever sent — that is corruption, crash or no crash.
+//   - counter-regression: a monotonically incremented counter must never
+//     appear to decrease within a crash-free window.
+//   - liveness: every operation the driver issued must complete (the
+//     guards bound every op, so a missing entry means a wedged process —
+//     virtual time stopped advancing for it).
+//
+// Sequence numbers are the checker's logical clock: chaos writers embed a
+// per-key monotonically increasing Seq in each value and chain writes
+// through CAS tokens, so duplicated or retransmitted frames cannot apply
+// stale overwrites behind the log's back.
+package history
+
+import (
+	"fmt"
+
+	"hybridkv/internal/sim"
+)
+
+// Kind classifies one logged operation.
+type Kind uint8
+
+const (
+	Read Kind = iota
+	Write
+	IncrOp
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return "incr"
+	}
+}
+
+// Entry is one completed client operation.
+type Entry struct {
+	Worker int
+	Kind   Kind
+	Key    string
+	// Seq is the logical clock: the sequence number written (Write), the
+	// sequence number observed (Read, 0 on miss), or the counter value
+	// returned (IncrOp).
+	Seq uint64
+	// Hit reports a read that returned a value.
+	Hit bool
+	// OK reports a successful completion (Err() == nil).
+	OK bool
+	// Acked reports that a BufferAck arrived: the server holds the write.
+	Acked bool
+	// IssuedAt / CompletedAt are the op's virtual timestamps.
+	IssuedAt    sim.Time
+	CompletedAt sim.Time
+}
+
+// Window is one crash-to-recovered interval of some server. Invariant
+// floors do not carry across a window: a warm crash legally loses buffered
+// acked work and a cold restart legally resurrects older SSD epochs.
+type Window struct {
+	From, To sim.Time
+}
+
+// Violation is one invariant breach found by Check.
+type Violation struct {
+	Rule   string
+	Entry  Entry
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s %s key=%q seq=%d [%v..%v]: %s",
+		v.Rule, v.Entry.Kind, map[bool]string{true: "ok", false: "failed"}[v.Entry.OK],
+		v.Entry.Key, v.Entry.Seq, v.Entry.IssuedAt, v.Entry.CompletedAt, v.Detail)
+}
+
+// Log accumulates entries and crash windows for one run.
+type Log struct {
+	Entries []Entry
+	Crashes []Window
+	// Expected is the number of operations the driver issued; fewer
+	// recorded entries fail the liveness check.
+	Expected int
+}
+
+// Record appends one completed operation.
+func (l *Log) Record(e Entry) { l.Entries = append(l.Entries, e) }
+
+// CrashWindow marks [from, to] as a crash-to-recovered interval.
+func (l *Log) CrashWindow(from, to sim.Time) {
+	l.Crashes = append(l.Crashes, Window{From: from, To: to})
+}
+
+// crashed reports whether any crash window intersects [from, to].
+func (l *Log) crashed(from, to sim.Time) bool {
+	for _, w := range l.Crashes {
+		if w.From <= to && w.To >= from {
+			return true
+		}
+	}
+	return false
+}
+
+// Check replays the log and returns every invariant violation.
+func (l *Log) Check() []Violation {
+	var out []Violation
+	if l.Expected > 0 && len(l.Entries) < l.Expected {
+		out = append(out, Violation{
+			Rule: "liveness",
+			Detail: fmt.Sprintf("%d of %d expected operations never completed — wedged process, virtual time stopped advancing for it",
+				l.Expected-len(l.Entries), l.Expected),
+		})
+	}
+
+	writes := map[string][]*Entry{}
+	maxSeq := map[string]uint64{}
+	for i := range l.Entries {
+		e := &l.Entries[i]
+		if e.CompletedAt < e.IssuedAt {
+			out = append(out, Violation{Rule: "time-regression", Entry: *e,
+				Detail: "completed before it was issued"})
+		}
+		if e.Kind != Write {
+			continue
+		}
+		writes[e.Key] = append(writes[e.Key], e)
+		if e.Seq > maxSeq[e.Key] {
+			maxSeq[e.Key] = e.Seq
+		}
+		if e.Acked && !e.OK && !l.crashed(e.IssuedAt, e.CompletedAt) {
+			out = append(out, Violation{Rule: "acked-write-lost", Entry: *e,
+				Detail: "server acked buffering the write, no crash intervened, yet it never completed"})
+		}
+	}
+
+	for i := range l.Entries {
+		e := &l.Entries[i]
+		if e.Kind != Read || !e.OK || !e.Hit {
+			continue
+		}
+		if e.Seq > maxSeq[e.Key] {
+			out = append(out, Violation{Rule: "future-read", Entry: *e,
+				Detail: fmt.Sprintf("observed seq %d but no writer ever sent past %d", e.Seq, maxSeq[e.Key])})
+			continue
+		}
+		for _, w := range writes[e.Key] {
+			if w.OK && w.Seq > e.Seq && w.CompletedAt <= e.IssuedAt &&
+				!l.crashed(w.CompletedAt, e.IssuedAt) {
+				out = append(out, Violation{Rule: "stale-read", Entry: *e,
+					Detail: fmt.Sprintf("observed seq %d after seq %d completed at %v with no crash between",
+						e.Seq, w.Seq, w.CompletedAt)})
+				break
+			}
+		}
+	}
+
+	// Counters: per key, consecutive successful observations must be
+	// non-decreasing across crash-free intervals. Counter keys are
+	// single-worker, so entry order in the log is issue order.
+	last := map[string]*Entry{}
+	for i := range l.Entries {
+		e := &l.Entries[i]
+		if e.Kind != IncrOp || !e.OK {
+			continue
+		}
+		if prev := last[e.Key]; prev != nil &&
+			e.Seq < prev.Seq && !l.crashed(prev.IssuedAt, e.CompletedAt) {
+			out = append(out, Violation{Rule: "counter-regression", Entry: *e,
+				Detail: fmt.Sprintf("counter fell from %d to %d with no crash between", prev.Seq, e.Seq)})
+		}
+		last[e.Key] = e
+	}
+	return out
+}

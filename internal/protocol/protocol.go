@@ -92,6 +92,11 @@ const (
 	// store from the SSD after a cold restart; clients treat it as
 	// retryable backpressure.
 	StatusRecovering
+	// StatusBusy sheds a request at admission when the server's buffer
+	// memory or storage queue is over its watermark. The response carries
+	// a retry-after hint (Response.RetryAfterUS) in the flags slot;
+	// clients treat it as retryable backpressure.
+	StatusBusy
 )
 
 func (s Status) String() string {
@@ -116,6 +121,8 @@ func (s Status) String() string {
 		return "BAD_VALUE"
 	case StatusRecovering:
 		return "RECOVERING"
+	case StatusBusy:
+		return "BUSY"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
@@ -150,6 +157,11 @@ type Response struct {
 	CAS       uint64
 	ValueSize int
 	Value     any
+	// RetryAfterUS is the server's backoff hint in microseconds on a
+	// StatusBusy rejection. A rejected request carries no item metadata,
+	// so the hint reuses the flags slot on the wire: header size and
+	// therefore all transfer timings are unchanged.
+	RetryAfterUS uint32
 }
 
 // Header sizes, fixed by the marshaled layout below.
@@ -238,7 +250,11 @@ func UnmarshalHeader(b []byte) (*Request, error) {
 func (r *Response) Marshal() []byte {
 	buf := make([]byte, 0, RespHeaderSize)
 	buf = append(buf, byte(r.Op), byte(r.Status), 0, 0)
-	buf = binary.LittleEndian.AppendUint32(buf, r.Flags)
+	if r.Status == StatusBusy {
+		buf = binary.LittleEndian.AppendUint32(buf, r.RetryAfterUS)
+	} else {
+		buf = binary.LittleEndian.AppendUint32(buf, r.Flags)
+	}
 	buf = binary.LittleEndian.AppendUint64(buf, r.CAS)
 	buf = binary.LittleEndian.AppendUint64(buf, r.ReqID)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.ValueSize))
@@ -250,12 +266,16 @@ func UnmarshalResponse(b []byte) (*Response, error) {
 	if len(b) < RespHeaderSize {
 		return nil, ErrShortHeader
 	}
-	return &Response{
+	r := &Response{
 		Op:        Opcode(b[0]),
 		Status:    Status(b[1]),
 		Flags:     binary.LittleEndian.Uint32(b[4:]),
 		CAS:       binary.LittleEndian.Uint64(b[8:]),
 		ReqID:     binary.LittleEndian.Uint64(b[16:]),
 		ValueSize: int(binary.LittleEndian.Uint64(b[24:])),
-	}, nil
+	}
+	if r.Status == StatusBusy {
+		r.RetryAfterUS, r.Flags = r.Flags, 0
+	}
+	return r, nil
 }

@@ -78,6 +78,56 @@ type Config struct {
 	// coalesced BatchFrame (default 100 ns): unpacking N ops from one frame
 	// costs ParseCost + (N-1)·BatchOpCost, far below N·ParseCost.
 	BatchOpCost sim.Time
+	// Overload configures bounded admission with load shedding on the
+	// async pipeline. The zero value disables it: the dispatcher blocks
+	// on the buffer reservation exactly as before.
+	Overload OverloadConfig
+}
+
+// OverloadConfig bounds admission on the async pipeline. When Enabled, the
+// dispatcher never blocks on the buffer reservation: a request whose op
+// class is over its watermark is shed with StatusBusy (plus a retry-after
+// hint) instead of head-of-line-blocking the communication phase. Shedding
+// happens strictly before buffering and before any BufferAck, and the
+// storage queue is always drained, so acked work is never lost to shedding.
+type OverloadConfig struct {
+	Enabled bool
+	// SetWatermark and GetWatermark are the fractions of BufferBytes
+	// above which the matching op class is shed (defaults 0.5 and 0.9).
+	// Writes carry their values and are rejected long before reads:
+	// shedding a SET frees the most buffer memory per rejection, while
+	// buffered GETs are header-sized and stay admitted until the buffer
+	// is nearly exhausted.
+	SetWatermark float64
+	GetWatermark float64
+	// QueueHigh sheds writes once the storage queue is this deep
+	// (default 256 tasks); reads are shed at 4×QueueHigh. This bounds
+	// queueing delay even when BufferBytes alone would admit more work
+	// (e.g. a flood of header-sized GETs).
+	QueueHigh int
+	// RetryAfterUnit scales the retry-after hint carried by a busy
+	// response: hint = unit × (queue depth / storage workers + 1), capped
+	// at MaxRetryAfter (defaults 20 µs and 1 ms).
+	RetryAfterUnit sim.Time
+	MaxRetryAfter  sim.Time
+}
+
+func (oc *OverloadConfig) fill() {
+	if oc.SetWatermark <= 0 {
+		oc.SetWatermark = 0.5
+	}
+	if oc.GetWatermark <= 0 {
+		oc.GetWatermark = 0.9
+	}
+	if oc.QueueHigh <= 0 {
+		oc.QueueHigh = 256
+	}
+	if oc.RetryAfterUnit <= 0 {
+		oc.RetryAfterUnit = 20 * sim.Microsecond
+	}
+	if oc.MaxRetryAfter <= 0 {
+		oc.MaxRetryAfter = sim.Millisecond
+	}
 }
 
 func (c *Config) fill() {
@@ -95,6 +145,9 @@ func (c *Config) fill() {
 	}
 	if c.BatchOpCost <= 0 {
 		c.BatchOpCost = 100 * sim.Nanosecond
+	}
+	if c.Overload.Enabled {
+		c.Overload.fill()
 	}
 }
 
@@ -148,6 +201,17 @@ type Server struct {
 	// Rejected counts requests answered StatusRecovering during a cold
 	// restart's recovery window.
 	Rejected int64
+	// ShedSets and ShedGets count requests rejected StatusBusy at
+	// admission, by op class; writes are shed first. Their sum is the
+	// server's total busy rejections.
+	ShedSets int64
+	ShedGets int64
+	// BufferPeak and QueuePeak are high-water marks of async buffer bytes
+	// in use and storage-queue depth, maintained on both the blocking and
+	// bounded-admission paths — the overload experiment's evidence that
+	// the unprotected queue grows without bound.
+	BufferPeak int
+	QueuePeak  int
 	// Recovery holds the cold-restart counters ("pages-scanned",
 	// "pages-recovered", "pages-discarded", "items-recovered", ...).
 	Recovery *metrics.Counters
@@ -379,13 +443,71 @@ func (s *Server) dispatchOne(p *sim.Proc, conn *rdmaConn, req *protocol.Request)
 	}
 	// Async: communication phase only. Reserve buffer memory for the
 	// request (header + any carried value): this is where
-	// backpressure forms when storage falls behind.
-	s.slots.AcquireN(p, req.WireSize())
+	// backpressure forms when storage falls behind. Bounded admission
+	// never blocks here: an over-watermark request is shed with
+	// StatusBusy before any ack, and the dispatcher keeps serving the
+	// classes still under their watermarks.
+	size := req.WireSize()
+	if s.cfg.Overload.Enabled {
+		if s.overLimit(size, isWrite(req.Op)) || !s.slots.TryAcquireN(size) {
+			s.shed(p, conn, req)
+			conn.qp.PostRecv(verbs.RecvWR{})
+			return
+		}
+	} else {
+		s.slots.AcquireN(p, size)
+	}
+	if u := s.slots.InUse(); u > s.BufferPeak {
+		s.BufferPeak = u
+	}
 	conn.qp.PostRecv(verbs.RecvWR{})
 	if req.AckWanted {
 		s.sendAck(p, conn, req)
 	}
 	s.reqQ.Put(p, task{req: req, conn: conn, gen: gen0})
+	if n := s.reqQ.Len(); n > s.QueuePeak {
+		s.QueuePeak = n
+	}
+}
+
+// isWrite reports whether op belongs to the shed-first write class: every
+// opcode that mutates the store. GETs are the protected class.
+func isWrite(op protocol.Opcode) bool { return op != protocol.OpGet }
+
+// overLimit reports whether admitting size more buffered bytes would take
+// the op class past its buffer watermark or storage-queue depth bound.
+func (s *Server) overLimit(size int, write bool) bool {
+	oc := &s.cfg.Overload
+	frac, qhigh := oc.GetWatermark, 4*oc.QueueHigh
+	if write {
+		frac, qhigh = oc.SetWatermark, oc.QueueHigh
+	}
+	if float64(s.slots.InUse()+size) > frac*float64(s.slots.Total()) {
+		return true
+	}
+	return s.reqQ.Len() >= qhigh
+}
+
+// shed answers one request StatusBusy with a retry-after hint scaled by
+// the storage backlog. The request was never buffered and never acked —
+// admission happens strictly before the BufferAck — so an acked bset can
+// never be lost to shedding.
+func (s *Server) shed(p *sim.Proc, conn *rdmaConn, req *protocol.Request) {
+	if isWrite(req.Op) {
+		s.ShedSets++
+	} else {
+		s.ShedGets++
+	}
+	oc := &s.cfg.Overload
+	hint := oc.RetryAfterUnit * sim.Time(s.reqQ.Len()/s.cfg.StorageWorkers+1)
+	if hint > oc.MaxRetryAfter {
+		hint = oc.MaxRetryAfter
+	}
+	s.respond(p, conn, req, &protocol.Response{
+		Op: protocol.OpResponse, ReqID: req.ReqID,
+		Status:       protocol.StatusBusy,
+		RetryAfterUS: uint32(hint / sim.Microsecond),
+	})
 }
 
 // dispatchBatch unpacks a coalesced frame in one communication phase: one
@@ -430,13 +552,39 @@ func (s *Server) dispatchBatch(p *sim.Proc, conn *rdmaConn, frame *protocol.Batc
 	}
 	// Async: reserve buffer memory for the whole frame at once, give the
 	// client its credit back with a single receive-repost, and ack the
-	// batch as a unit.
-	s.slots.AcquireN(p, frame.WireSize())
+	// batch as a unit. Under bounded admission the frame is one unit: it
+	// is admitted under the write watermark if any member mutates, or
+	// shed whole (one busy response per member, one receive-repost).
+	size := frame.WireSize()
+	if s.cfg.Overload.Enabled {
+		write := false
+		for _, req := range frame.Reqs {
+			if isWrite(req.Op) {
+				write = true
+				break
+			}
+		}
+		if s.overLimit(size, write) || !s.slots.TryAcquireN(size) {
+			for _, req := range frame.Reqs {
+				s.shed(p, conn, req)
+			}
+			conn.qp.PostRecv(verbs.RecvWR{})
+			return
+		}
+	} else {
+		s.slots.AcquireN(p, size)
+	}
+	if u := s.slots.InUse(); u > s.BufferPeak {
+		s.BufferPeak = u
+	}
 	conn.qp.PostRecv(verbs.RecvWR{})
 	if frame.AckWanted {
 		s.sendBatchAck(p, conn, frame)
 	}
 	s.reqQ.Put(p, task{batch: frame, conn: conn, gen: gen0})
+	if n := s.reqQ.Len(); n > s.QueuePeak {
+		s.QueuePeak = n
+	}
 }
 
 // storageWorker executes buffered requests and responds.
