@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race smoke robustness check
+.PHONY: build test vet race race-robustness smoke robustness check
 
 build:
 	$(GO) build ./...
@@ -14,17 +14,27 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# The concurrency-heavy robustness packages under the race detector at
+# -count=2: the client guard/hedge/cancel races, the replication
+# forward/ack/scrub engine, and the history checker. A named subset of
+# `race`, kept separate so a detector hit points straight at the
+# robustness suite (and so it stays cheap enough to run on every edit).
+race-robustness:
+	$(GO) test -race -count=2 ./internal/core ./internal/replication ./internal/history
+
 # Run every registered experiment end to end at a tiny operation count.
 smoke:
 	$(GO) run ./cmd/mc-bench -smoke
 
 # The robustness gate: fault-injection, cold-restart recovery, bounded
-# admission under overload, and the chaos-soak invariant checker, all at
-# smoke scale. Also covered by the full `smoke` run; kept as an explicit
-# target so failures name the robustness suite directly.
+# admission under overload, the chaos-soak invariant checker, and the
+# replication durability sweep, all at smoke scale. Also covered by the
+# full `smoke` run; kept as an explicit target so failures name the
+# robustness suite directly.
 robustness:
-	$(GO) run ./cmd/mc-bench -smoke faults recovery overload chaos
+	$(GO) run ./cmd/mc-bench -smoke faults recovery overload chaos replication
 
 # The pre-merge gate: static analysis, the full suite under the race
-# detector, the robustness gate, and a registry smoke run.
-check: vet race robustness smoke
+# detector (plus the robustness packages at -count=2), the robustness
+# gate, and a registry smoke run.
+check: vet race race-robustness robustness smoke

@@ -25,12 +25,16 @@ import (
 // every issued operation completes, so virtual time kept advancing).
 //
 // Checker soundness depends on two deliberate asymmetries between the two
-// clients. The checker client has no circuit breaker and retries without
-// failover: its keys live on exactly one ring server, and rerouting a write
-// to the wrong replica would manufacture stale-read "violations" the server
-// never committed. The flooder client is the opposite — breaker armed,
-// short deadlines, scratch keys that are never logged — because its job is
-// generating overload and exercising the breaker, not producing evidence.
+// clients. In the unreplicated soak the checker client has no circuit
+// breaker and retries without failover: its keys live on exactly one ring
+// server, and rerouting a write to the wrong server would manufacture
+// stale-read "violations" the server never committed. (The replicated soak
+// lifts exactly that restriction — with R ≥ 2 every replica holds each
+// acked write, so the checker fails over freely and the stale-read rule
+// tightens instead, dropping its crash excuse.) The flooder client is the
+// opposite — breaker armed, short deadlines, scratch keys that are never
+// logged — because its job is generating overload and exercising the
+// breaker, not producing evidence.
 
 const (
 	// Checker guard: generous on purpose. The bounded queue drains in a
@@ -74,19 +78,44 @@ type chaosReport struct {
 	Busy, Retries       int64
 	BreakerOpen, Hedges int64
 	InjDrops, InjSpikes int64
+	// Repl merges every replicator's counters (forwards, repair-pushes,
+	// repair-pulls, epoch-conflicts, stale-reads-prevented, ...); empty
+	// when the soak ran unreplicated.
+	Repl *metrics.Counters
 }
 
 // runChaos soaks one hybrid design for rounds rounds per worker and checks
 // the observed history. seed drives the fault injector.
 func runChaos(d cluster.Design, rounds int, seed int64) *chaosReport {
+	return runChaosR(d, rounds, seed, 0, false)
+}
+
+// runChaosR is runChaos with replication: replicas > 1 attaches the
+// primary–backup replication chain (every change below is gated on it, so
+// replicas ≤ 1 stays bit-identical to the original soak), and kills swaps
+// the warm-crash/cold-restart schedule for whole-node kills — first RAM
+// only, then RAM plus a wiped SSD — the failure mode only replication can
+// survive. In replicated mode the checker runs with Replicated histories:
+// the stale-read rule keeps no crash excuse, and the checker client is
+// allowed to fail over (rerouting is safe once every replica holds each
+// acked write — the exact soundness hazard the unreplicated soak's
+// no-failover rule guards against).
+func runChaosR(d cluster.Design, rounds int, seed int64, replicas int, kills bool) *chaosReport {
+	servers := 2
+	if replicas > 1 {
+		// Three nodes with R=2: replica sets are proper subsets, so the
+		// soak also exercises proxy-coordinated writes and non-member gets.
+		servers = 3
+	}
 	cl := cluster.New(cluster.Config{
-		Design:         d,
-		Profile:        cluster.ClusterA(),
-		Servers:        2,
-		Clients:        1,
-		ServerMem:      2 << 20, // 2 MB/server: the flood overcommits it
-		StorageWorkers: overWorkers,
-		BufferBytes:    overBufferBytes,
+		Design:            d,
+		Profile:           cluster.ClusterA(),
+		Servers:           servers,
+		Clients:           1,
+		ReplicationFactor: replicas,
+		ServerMem:         2 << 20, // 2 MB/server: the flood overcommits it
+		StorageWorkers:    overWorkers,
+		BufferBytes:       overBufferBytes,
 		Overload: server.OverloadConfig{
 			Enabled:        true,
 			QueueHigh:      overQueueHigh,
@@ -98,15 +127,19 @@ func runChaos(d cluster.Design, rounds int, seed int64) *chaosReport {
 
 	// The flooder gets its own client node so its breaker and retry state
 	// cannot leak into the checker's connections.
-	fc := core.New(cl.Env, cl.Fabric.AddNode("flooder"), core.Config{
+	fcfg := core.Config{
 		Transport: core.RDMA,
 		Breaker:   core.BreakerConfig{Threshold: 6, Cooldown: 500 * sim.Microsecond},
-	})
+	}
+	if replicas > 1 {
+		fcfg.Replicas = replicas
+	}
+	fc := core.New(cl.Env, cl.Fabric.AddNode("flooder"), fcfg)
 	for _, srv := range cl.Servers {
 		fc.ConnectRDMA(srv)
 	}
 
-	log := &history.Log{}
+	log := &history.Log{Replicated: replicas > 1}
 	rp := core.RetryPolicy{
 		MaxAttempts:    chaosMaxAttempts,
 		AttemptTimeout: chaosAttemptTimeout,
@@ -114,6 +147,7 @@ func runChaos(d cluster.Design, rounds int, seed int64) *chaosReport {
 		MaxBackoff:     chaosMaxBackoff,
 		Jitter:         -1, // deterministic backoff
 		Seed:           seed,
+		Failover:       replicas > 1,
 	}
 	guardGet := []core.IssueOption{core.WithDeadline(chaosDeadline), core.WithRetry(rp)}
 	guardSet := guardGet
@@ -263,25 +297,55 @@ func runChaos(d cluster.Design, rounds int, seed int64) *chaosReport {
 	// from SSD) later. Each window is recorded conservatively — crash
 	// start through fully recovered — since invariant floors do not carry
 	// across it.
-	srv := cl.Servers[0]
-	cl.Env.Spawn("chaos-crashes", func(p *sim.Proc) {
-		p.Sleep(3 * sim.Millisecond)
-		from := p.Now()
-		srv.Crash()
-		p.Sleep(300 * sim.Microsecond)
-		srv.Restart()
-		log.CrashWindow(from, p.Now())
+	if kills {
+		// Whole-node kill schedule: first server 0 loses its RAM and every
+		// pending buffer (SSD intact — recovered keys come back suspect and
+		// must be confirmed against peers before being served); later
+		// server 1 dies completely, SSD wiped, as if replaced — every key
+		// it held comes back only through the replication chain.
+		cl.Env.Spawn("chaos-kills", func(p *sim.Proc) {
+			s0, s1 := cl.Servers[0], cl.Servers[1]
+			p.Sleep(3 * sim.Millisecond)
+			from := p.Now()
+			s0.Kill(false)
+			p.Sleep(300 * sim.Microsecond)
+			s0.RestartCold()
+			for s0.Recovering() {
+				p.Sleep(100 * sim.Microsecond)
+			}
+			log.CrashWindow(from, p.Now())
 
-		p.Sleep(4 * sim.Millisecond)
-		from = p.Now()
-		srv.Crash()
-		p.Sleep(200 * sim.Microsecond)
-		srv.RestartCold()
-		for srv.Recovering() {
-			p.Sleep(100 * sim.Microsecond)
-		}
-		log.CrashWindow(from, p.Now())
-	})
+			p.Sleep(4 * sim.Millisecond)
+			from = p.Now()
+			s1.Kill(true)
+			p.Sleep(200 * sim.Microsecond)
+			s1.RestartCold()
+			for s1.Recovering() {
+				p.Sleep(100 * sim.Microsecond)
+			}
+			log.CrashWindow(from, p.Now())
+		})
+	} else {
+		srv := cl.Servers[0]
+		cl.Env.Spawn("chaos-crashes", func(p *sim.Proc) {
+			p.Sleep(3 * sim.Millisecond)
+			from := p.Now()
+			srv.Crash()
+			p.Sleep(300 * sim.Microsecond)
+			srv.Restart()
+			log.CrashWindow(from, p.Now())
+
+			p.Sleep(4 * sim.Millisecond)
+			from = p.Now()
+			srv.Crash()
+			p.Sleep(200 * sim.Microsecond)
+			srv.RestartCold()
+			for srv.Recovering() {
+				p.Sleep(100 * sim.Microsecond)
+			}
+			log.CrashWindow(from, p.Now())
+		})
+	}
 
 	start := cl.Env.Now()
 	cl.Env.RunUntil(start + chaosLimit)
@@ -306,6 +370,7 @@ func runChaos(d cluster.Design, rounds int, seed int64) *chaosReport {
 		Hedges:      c.Faults.Get("hedges"),
 		InjDrops:    inj.Drops,
 		InjSpikes:   inj.Spikes,
+		Repl:        cl.ReplicationCounters(),
 	}
 	for _, e := range log.Entries {
 		if e.Kind == history.Write && e.Acked {

@@ -51,6 +51,25 @@ func TestChaosSoakAckedWritesAndDeterminism(t *testing.T) {
 	}
 }
 
+// The replicated soak: whole-node kills (RAM gone, then RAM + wiped SSD)
+// at R=2 under the tightened Replicated checker — stale reads keep no
+// crash excuse — must still produce zero violations, and repair traffic
+// must actually flow (the kills force the suspect-confirm and anti-entropy
+// machinery to do real work).
+func TestChaosReplicatedNodeKillsZeroViolations(t *testing.T) {
+	rep := runChaosR(cluster.HRDMAOptNonBB, 24, 42, 2, true)
+	for _, v := range rep.Violations {
+		t.Errorf("R=2 kills: %s", v)
+	}
+	if len(rep.Log.Entries) != rep.Log.Expected {
+		t.Errorf("R=2 kills: %d of %d expected entries recorded",
+			len(rep.Log.Entries), rep.Log.Expected)
+	}
+	if rep.AckedWrites == 0 {
+		t.Error("R=2 kills: no acked writes logged — the invariant was vacuous")
+	}
+}
+
 // The checker is not asleep: hand the soak's own machinery a log with a
 // fabricated lost acked write and it must object.
 func TestChaosCheckerStillArmed(t *testing.T) {

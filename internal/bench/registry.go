@@ -33,6 +33,7 @@ var Registry = []Experiment{
 	{"recovery", "Cold-restart recovery: crash consistency under torn writes", recoveryExp},
 	{"overload", "Graceful degradation: bounded admission and shedding under bursty arrivals", overloadExp},
 	{"chaos", "Chaos soak: faults + crashes + overload under the history invariant checker", chaosExp},
+	{"replication", "Primary-backup replication: acked-write durability under whole-node kills", replicationExp},
 }
 
 // ByID finds an experiment, or nil.

@@ -11,7 +11,9 @@ import (
 	"hybridkv/internal/blockdev"
 	"hybridkv/internal/core"
 	"hybridkv/internal/hybridslab"
+	"hybridkv/internal/metrics"
 	"hybridkv/internal/pagecache"
+	"hybridkv/internal/replication"
 	"hybridkv/internal/server"
 	"hybridkv/internal/sim"
 	"hybridkv/internal/simnet"
@@ -145,6 +147,14 @@ type Config struct {
 	// Client seeds every client's core.Config (timeout/retry knobs for
 	// degraded-mode runs); its Transport is forced to the design's.
 	Client core.Config
+	// ReplicationFactor R maps each key to a primary plus R-1 backups on
+	// the shared ketama ring: servers forward admitted writes along the
+	// chain before acking, clients route gets to any live replica, and a
+	// background anti-entropy scrubber reconciles divergence. 0 or 1
+	// leaves the deployment entirely unreplicated (no replicators are
+	// even attached, so runs are virtual-time-identical to pre-replication
+	// builds). Requires an RDMA design; clamped to the server count.
+	ReplicationFactor int
 }
 
 // Cluster is one assembled deployment.
@@ -158,6 +168,9 @@ type Cluster struct {
 	Profile Profile
 	Devices []*blockdev.Device
 	Caches  []*pagecache.Cache
+	// Replicators holds one replication engine per server when
+	// ReplicationFactor > 1 (nil otherwise).
+	Replicators []*replication.Replicator
 }
 
 // New builds and starts a deployment.
@@ -231,10 +244,33 @@ func New(cfg Config) *Cluster {
 		srv.Start()
 		cl.Servers = append(cl.Servers, srv)
 	}
+	repFactor := cfg.ReplicationFactor
+	if repFactor > cfg.Servers {
+		repFactor = cfg.Servers
+	}
+	if repFactor > 1 {
+		if cfg.Design.Transport() != core.RDMA {
+			panic("cluster: ReplicationFactor > 1 requires an RDMA design")
+		}
+		ring := replication.NewRing()
+		for i := range cl.Servers {
+			ring.Add(i)
+		}
+		for i, srv := range cl.Servers {
+			repl := replication.New(env, replication.Config{ID: i, Factor: repFactor},
+				ring, srv.Store(), srv.Device())
+			srv.AttachReplicator(repl)
+			cl.Replicators = append(cl.Replicators, repl)
+		}
+		replication.Interconnect(cl.Replicators)
+	}
 	for i := 0; i < cfg.Clients; i++ {
 		node := fab.AddNode(fmt.Sprintf("client%d", i))
 		ccfg := cfg.Client
 		ccfg.Transport = cfg.Design.Transport()
+		if repFactor > 1 {
+			ccfg.Replicas = repFactor
+		}
 		c := core.New(env, node, ccfg)
 		for _, srv := range cl.Servers {
 			if cfg.Design.Transport() == core.RDMA {
@@ -289,6 +325,17 @@ func (cl *Cluster) SettleIO() {
 		}
 	})
 	cl.Env.Run()
+}
+
+// ReplicationCounters merges every replicator's counters (repair-pushes,
+// repair-pulls, epoch-conflicts, stale-reads-prevented, ...) into one set;
+// nil-safe when the deployment is unreplicated.
+func (cl *Cluster) ReplicationCounters() *metrics.Counters {
+	c := metrics.NewCounters()
+	for _, r := range cl.Replicators {
+		c.Merge(r.Counters)
+	}
+	return c
 }
 
 // TotalSetOps sums Set operations across servers.

@@ -91,6 +91,12 @@ type Config struct {
 	// Breaker attaches a per-server circuit breaker to every connection
 	// (see BreakerConfig). Zero value = no breakers, routing unchanged.
 	Breaker BreakerConfig
+	// Replicas is the cluster's replication factor R. With R > 1 the
+	// client routes each key within its R-member replica set: reads go to
+	// the first live replica (primary first), and failover/hedging stays
+	// inside the set so a rerouted request always lands on a server that
+	// actually holds the key. 0 or 1 leaves routing exactly as before.
+	Replicas int
 }
 
 func (c *Config) fill() {
@@ -299,7 +305,7 @@ func (c *Client) ConnectRDMA(srv RDMAServer) {
 		qp.PostRecv(verbs.RecvWR{})
 	}
 	c.conns = append(c.conns, cn)
-	c.ring.add(cn.serverID)
+	c.ring.Add(cn.serverID)
 	name := fmt.Sprintf("client/conn%d", cn.serverID)
 	c.env.Spawn(name+"/tx", cn.txEngine)
 	c.env.Spawn(name+"/progress", cn.progressEngine)
@@ -320,19 +326,35 @@ func (c *Client) ConnectIPoIB(srv IPoIBServer) {
 		cn.brk = newBreaker(c, c.cfg.Breaker)
 	}
 	c.conns = append(c.conns, cn)
-	c.ring.add(cn.serverID)
+	c.ring.Add(cn.serverID)
 }
 
 // pick selects the connection for a key via the ketama-style ring. With
 // breakers attached, a key whose home server's breaker is open is routed
 // around the saturated replica in failover-ring order; when every breaker
 // is open, the home server takes the traffic anyway (failing through beats
-// failing everything locally).
+// failing everything locally). On a replicated cluster (Config.Replicas >
+// 1) the candidates are the key's replica set, primary first — any member
+// can serve reads and coordinate writes, so rerouting never leaves the set.
 func (c *Client) pick(key string) *conn {
 	if len(c.conns) == 0 {
 		panic("core: no server connections")
 	}
-	cn := c.conns[c.ring.pick(key)]
+	if c.cfg.Replicas > 1 {
+		set := c.ring.Replicas(key, c.cfg.Replicas)
+		cn := c.conns[set[0]]
+		if cn.allows() {
+			return cn
+		}
+		for _, id := range set[1:] {
+			if alt := c.conns[id]; alt.allows() {
+				c.Faults.Add("breaker-reroutes", 1)
+				return alt
+			}
+		}
+		return cn
+	}
+	cn := c.conns[c.ring.Pick(key)]
 	if cn.allows() {
 		return cn
 	}

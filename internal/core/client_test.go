@@ -390,11 +390,11 @@ func TestCreditsBoundOutstanding(t *testing.T) {
 func TestRingBalanceAndStability(t *testing.T) {
 	rg := newRing()
 	for i := 0; i < 4; i++ {
-		rg.add(i)
+		rg.Add(i)
 	}
 	counts := make([]int, 4)
 	for i := 0; i < 40000; i++ {
-		counts[rg.pick(fmt.Sprintf("object-%d", i))]++
+		counts[rg.Pick(fmt.Sprintf("object-%d", i))]++
 	}
 	for i, c := range counts {
 		frac := float64(c) / 40000
@@ -405,12 +405,12 @@ func TestRingBalanceAndStability(t *testing.T) {
 	// Consistency: removing one server must keep other keys mostly stable.
 	before := make(map[int]int)
 	for i := 0; i < 1000; i++ {
-		before[i] = rg.pick(fmt.Sprintf("object-%d", i))
+		before[i] = rg.Pick(fmt.Sprintf("object-%d", i))
 	}
-	rg.remove(3)
+	rg.Remove(3)
 	moved := 0
 	for i := 0; i < 1000; i++ {
-		after := rg.pick(fmt.Sprintf("object-%d", i))
+		after := rg.Pick(fmt.Sprintf("object-%d", i))
 		if before[i] != 3 && after != before[i] {
 			moved++
 		}

@@ -37,6 +37,13 @@ var (
 	// watermark. Retryable; the busy response's retry-after hint floors
 	// the guard's next backoff.
 	ErrBusy = errors.New("core: server busy")
+	// ErrNoReplica reports a replicated write whose coordinator could not
+	// complete the replication chain (peer replicas dead or partitioned
+	// beyond the retry budget). Retryable: a later attempt — possibly
+	// coordinated by another replica — may find the chain whole again. The
+	// write may have landed on a subset of replicas; anti-entropy
+	// reconverges them either way.
+	ErrNoReplica = errors.New("core: replication chain incomplete")
 	// ErrInFlight reports Err called before the operation completed.
 	ErrInFlight = errors.New("core: request still in flight")
 )
@@ -61,6 +68,8 @@ func statusErr(s protocol.Status) error {
 		return ErrRecovering
 	case protocol.StatusBusy:
 		return ErrBusy
+	case protocol.StatusNoReplica:
+		return ErrNoReplica
 	default:
 		return ErrServer
 	}
@@ -75,7 +84,8 @@ func statusErr(s protocol.Status) error {
 // backpressure: the server refused the request but another attempt (after
 // backoff, possibly on another replica) may succeed.
 func RetryableStatus(s protocol.Status) bool {
-	return s == protocol.StatusRecovering || s == protocol.StatusBusy
+	return s == protocol.StatusRecovering || s == protocol.StatusBusy ||
+		s == protocol.StatusNoReplica
 }
 
 // Retryable reports whether err is transient: a rejection or timeout that
@@ -83,7 +93,7 @@ func RetryableStatus(s protocol.Status) bool {
 // are not retryable — retrying cannot change them.
 func Retryable(err error) bool {
 	return errors.Is(err, ErrRecovering) || errors.Is(err, ErrBusy) ||
-		errors.Is(err, ErrDeadlineExceeded)
+		errors.Is(err, ErrNoReplica) || errors.Is(err, ErrDeadlineExceeded)
 }
 
 // Err returns the operation outcome as an error: nil on success,

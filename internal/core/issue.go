@@ -206,10 +206,21 @@ func (c *Client) abandon(att *attempt) {
 	}
 }
 
-// mayRetry reports whether retransmitting req is safe: Gets always; any
-// mutating opcode only while the server has not acknowledged holding it.
+// mayRetry reports whether retransmitting req is safe: Gets always; a
+// mutating opcode while the server has not acknowledged holding it; and
+// self-guarded mutations (CAS, Add) even after the ack. A retransmitted
+// CAS cannot re-apply — the original's apply consumed the token — and a
+// retransmitted Add cannot either, because the key now exists; the worst
+// outcome is a definite Exists rejection. That definite outcome is the
+// point: without it, a BufferAck whose final response the network dropped
+// would strand the client at its deadline even though the write is safely
+// applied, which reads exactly like buffered work being lost.
 func mayRetry(req *Req) bool {
-	return req.Op == protocol.OpGet || !req.acked
+	switch req.Op {
+	case protocol.OpGet, protocol.OpCAS, protocol.OpAdd:
+		return true
+	}
+	return !req.acked
 }
 
 // expire completes req locally with a timeout outcome. Idempotent; a
@@ -259,18 +270,12 @@ func (c *Client) retransmit(p *sim.Proc, req *Req, failover bool) {
 	c.abandon(old)
 	cn := old.cn
 	if failover && len(c.conns) > 1 {
-		cn = c.conns[(old.cn.serverID+1)%len(c.conns)]
-		if !cn.allows() {
-			// Route the retransmit around open breakers too; if every
-			// alternative is saturated, the next-conn default stands.
-			for i := 2; i < len(c.conns); i++ {
-				if alt := c.conns[(old.cn.serverID+i)%len(c.conns)]; alt.allows() {
-					cn = alt
-					break
-				}
-			}
-		}
+		cn = c.failoverNext(old.cn, req.Key)
 		c.Faults.Add("failovers", 1)
+	}
+	if req.acked {
+		// A self-guarded write chasing its lost final response.
+		c.Faults.Add("acked-retries", 1)
 	}
 	c.Faults.Add("retries", 1)
 	p.Sleep(c.cfg.PrepCost)
@@ -368,19 +373,61 @@ func (c *Client) spawnGuard(req *Req, o issueOpts) {
 	})
 }
 
+// failoverNext picks the retransmit (or hedge) target after cur for key:
+// the following connections on the failover ring — the key's replica set
+// when the client is replica-aware, the whole pool otherwise — skipping
+// connections whose breaker is open instead of blindly taking the next
+// slot. Every skipped open breaker is surfaced as a "failover-skips" fault
+// counter; when every alternative is saturated the immediate next candidate
+// stands (failing through beats failing everything locally).
+func (c *Client) failoverNext(cur *conn, key string) *conn {
+	var cand []*conn
+	if c.cfg.Replicas > 1 {
+		set := c.ring.Replicas(key, c.cfg.Replicas)
+		if len(set) < 2 {
+			return cur
+		}
+		pos := 0
+		for i, id := range set {
+			if id == cur.serverID {
+				pos = i
+				break
+			}
+		}
+		for i := 1; i < len(set); i++ {
+			cand = append(cand, c.conns[set[(pos+i)%len(set)]])
+		}
+	} else {
+		for i := 1; i < len(c.conns); i++ {
+			cand = append(cand, c.conns[(cur.serverID+i)%len(c.conns)])
+		}
+	}
+	for _, cn := range cand {
+		if cn.allows() {
+			return cn
+		}
+		c.Faults.Add("failover-skips", 1)
+	}
+	return cand[0]
+}
+
 // spawnHedge starts the hedging process for a GET issued with WithHedge:
 // if the request is still unanswered after the threshold, the GET is
-// mirrored to the next connection on the failover ring as an extra attempt
-// — without abandoning the primary, so the first response (either server)
-// completes the request and the other is absorbed as stale with its own
-// credit return.
+// mirrored to the next live connection on the failover ring as an extra
+// attempt — without abandoning the primary, so the first response (either
+// server) completes the request and the other is absorbed as stale with its
+// own credit return. Like retransmit failover, the hedge target skips open
+// breakers and stays inside the key's replica set on replicated clusters.
 func (c *Client) spawnHedge(req *Req, after sim.Time) {
 	name := fmt.Sprintf("client/hedge%d", req.ID)
 	c.env.Spawn(name, func(p *sim.Proc) {
 		if p.WaitTimeout(req.done, after) || req.done.Fired() {
 			return
 		}
-		cn := c.conns[(req.conn.serverID+1)%len(c.conns)]
+		cn := c.failoverNext(req.conn, req.Key)
+		if cn == req.conn {
+			return // no distinct replica to hedge onto
+		}
 		c.Faults.Add("hedges", 1)
 		p.Sleep(c.cfg.PrepCost)
 		c.nextID++
@@ -587,9 +634,14 @@ func (cn *conn) progressEngine(p *sim.Proc) {
 				// which backs off and retransmits (failing over when
 				// configured).
 				req.rejected = statusErr(resp.Status)
-				if resp.Status == protocol.StatusBusy {
+				switch resp.Status {
+				case protocol.StatusBusy:
 					req.retryAfter = sim.Time(resp.RetryAfterUS) * sim.Microsecond
-				} else {
+				case protocol.StatusNoReplica:
+					// The coordinator itself is healthy (it answered); the
+					// chain behind it is not. No breaker food, just a counter.
+					cn.c.Faults.Add("no-replica", 1)
+				default:
 					cn.c.Faults.Add("recovering", 1)
 				}
 				req.nudge.Fire()

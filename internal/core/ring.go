@@ -1,93 +1,13 @@
 package core
 
-import (
-	"crypto/md5"
-	"encoding/binary"
-	"fmt"
-	"hash/fnv"
-	"sort"
-)
+import "hybridkv/internal/replication"
 
-// ring is a ketama-style consistent-hash ring distributing keys across
-// server connections: each server contributes vnodesPerServer virtual
-// points; a key maps to the first point clockwise from its hash. Consistent
-// hashing keeps most keys in place when the server pool changes, matching
-// libmemcached's MEMCACHED_DISTRIBUTION_CONSISTENT_KETAMA.
-type ring struct {
-	points []ringPoint
-	dirty  bool
-}
+// The ketama consistent-hash ring moved to internal/replication so the
+// client runtime and the server-side replicators share one implementation
+// (all parties must agree on each key's replica set). The client keeps
+// using it through these thin aliases.
+type ring = replication.Ring
 
-type ringPoint struct {
-	hash     uint64
-	serverID int
-}
+func newRing() *ring { return replication.NewRing() }
 
-// Real ketama derives 4 ring points from each of 40 MD5 digests per server,
-// i.e. 160 points; we take two 64-bit points per digest over 80 digests.
-const digestsPerServer = 80
-
-func newRing() *ring { return &ring{} }
-
-func hashKey(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return mix64(h.Sum64())
-}
-
-// mix64 is the splitmix64 finalizer: it decorrelates the structured vnode
-// and key strings that make raw FNV cluster on a ring.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
-
-// add inserts a server's virtual nodes.
-func (r *ring) add(serverID int) {
-	for v := 0; v < digestsPerServer; v++ {
-		d := md5.Sum([]byte(fmt.Sprintf("server-%d-%d", serverID, v)))
-		h1 := binary.LittleEndian.Uint64(d[0:8])
-		h2 := binary.LittleEndian.Uint64(d[8:16])
-		r.points = append(r.points,
-			ringPoint{hash: h1, serverID: serverID},
-			ringPoint{hash: h2, serverID: serverID})
-	}
-	r.dirty = true
-}
-
-// remove drops a server's virtual nodes.
-func (r *ring) remove(serverID int) {
-	out := r.points[:0]
-	for _, pt := range r.points {
-		if pt.serverID != serverID {
-			out = append(out, pt)
-		}
-	}
-	r.points = out
-	r.dirty = true
-}
-
-func (r *ring) sortPoints() {
-	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
-	r.dirty = false
-}
-
-// pick returns the server id owning key.
-func (r *ring) pick(key string) int {
-	if len(r.points) == 0 {
-		panic("core: empty hash ring")
-	}
-	if r.dirty {
-		r.sortPoints()
-	}
-	h := hashKey(key)
-	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	if i == len(r.points) {
-		i = 0
-	}
-	return r.points[i].serverID
-}
+func hashKey(s string) uint64 { return replication.HashKey(s) }

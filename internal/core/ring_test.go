@@ -19,12 +19,12 @@ func TestRingBalance(t *testing.T) {
 	const servers = 8
 	r := newRing()
 	for s := 0; s < servers; s++ {
-		r.add(s)
+		r.Add(s)
 	}
 	keys := ringKeys(20000)
 	counts := make([]int, servers)
 	for _, k := range keys {
-		counts[r.pick(k)]++
+		counts[r.Pick(k)]++
 	}
 	fair := float64(len(keys)) / servers
 	for s, n := range counts {
@@ -38,15 +38,15 @@ func TestRingBalance(t *testing.T) {
 func TestRingStability(t *testing.T) {
 	r := newRing()
 	for s := 0; s < 4; s++ {
-		r.add(s)
+		r.Add(s)
 	}
 	keys := ringKeys(1000)
 	first := make([]int, len(keys))
 	for i, k := range keys {
-		first[i] = r.pick(k)
+		first[i] = r.Pick(k)
 	}
 	for i, k := range keys {
-		if got := r.pick(k); got != first[i] {
+		if got := r.Pick(k); got != first[i] {
 			t.Fatalf("pick(%q) changed between calls: %d then %d", k, first[i], got)
 		}
 	}
@@ -59,17 +59,17 @@ func TestRingKeyMovementOnAdd(t *testing.T) {
 	const before = 4
 	r := newRing()
 	for s := 0; s < before; s++ {
-		r.add(s)
+		r.Add(s)
 	}
 	keys := ringKeys(20000)
 	old := make([]int, len(keys))
 	for i, k := range keys {
-		old[i] = r.pick(k)
+		old[i] = r.Pick(k)
 	}
-	r.add(before)
+	r.Add(before)
 	moved := 0
 	for i, k := range keys {
-		now := r.pick(k)
+		now := r.Pick(k)
 		if now == old[i] {
 			continue
 		}
@@ -91,17 +91,17 @@ func TestRingKeyMovementOnRemove(t *testing.T) {
 	const servers = 5
 	r := newRing()
 	for s := 0; s < servers; s++ {
-		r.add(s)
+		r.Add(s)
 	}
 	keys := ringKeys(20000)
 	old := make([]int, len(keys))
 	for i, k := range keys {
-		old[i] = r.pick(k)
+		old[i] = r.Pick(k)
 	}
 	const victim = 2
-	r.remove(victim)
+	r.Remove(victim)
 	for i, k := range keys {
-		now := r.pick(k)
+		now := r.Pick(k)
 		if now == victim {
 			t.Fatalf("key %q still maps to removed server", k)
 		}
@@ -118,5 +118,5 @@ func TestRingEmptyPanics(t *testing.T) {
 			t.Error("pick on empty ring did not panic")
 		}
 	}()
-	newRing().pick("k")
+	newRing().Pick("k")
 }

@@ -409,3 +409,135 @@ func TestServerAdmissionClassesAndAckedDrain(t *testing.T) {
 		t.Errorf("mid-squeeze GET failed: %v", getReq.Err())
 	}
 }
+
+// TestHedgedGetRacesConcurrentCancel: on a replica-aware client, a hedged
+// GET whose home replica is dead races a concurrent Cancel two ways. A
+// cancel before the hedge threshold must stand the hedger down entirely; a
+// cancel after the hedge fired but before the mirrored answer lands must
+// win the completion race, with the late response absorbed as stale — no
+// deadlock, no double completion, and the sim drains cleanly.
+func TestHedgedGetRacesConcurrentCancel(t *testing.T) {
+	r := newTestRig(rigOpts{
+		transport: RDMA, pipeline: server.Async, servers: 2,
+		clientCfg: func(cc *Config) { cc.Replicas = 2 },
+	})
+	c := r.client
+	var early, late *Req
+	r.env.Spawn("bench", func(p *sim.Proc) {
+		probe, err := c.Issue(p, Op{Code: protocol.OpGet, Key: "hr"})
+		if err != nil {
+			t.Errorf("issue: %v", err)
+			return
+		}
+		c.Wait(p, probe)
+		r.servers[probe.conn.serverID].Crash()
+
+		// Race 1: cancel well before the hedge threshold.
+		early, err = c.Issue(p, Op{Code: protocol.OpGet, Key: "hr"},
+			WithDeadline(2*sim.Millisecond), WithHedge(50*sim.Microsecond))
+		if err != nil {
+			t.Errorf("issue: %v", err)
+			return
+		}
+		r.env.Spawn("cancel-early", func(q *sim.Proc) {
+			q.Sleep(10 * sim.Microsecond)
+			c.Cancel(early)
+		})
+		c.Wait(p, early)
+		if n := c.Faults.Get("hedges"); n != 0 {
+			t.Errorf("hedger fired despite the pre-threshold cancel (hedges = %d)", n)
+		}
+
+		// Race 2: cancel just after the hedge fires, before the live
+		// replica's answer can land.
+		late, err = c.Issue(p, Op{Code: protocol.OpGet, Key: "hr"},
+			WithDeadline(2*sim.Millisecond), WithHedge(20*sim.Microsecond))
+		if err != nil {
+			t.Errorf("issue: %v", err)
+			return
+		}
+		r.env.Spawn("cancel-late", func(q *sim.Proc) {
+			q.Sleep(21 * sim.Microsecond)
+			c.Cancel(late)
+		})
+		c.Wait(p, late)
+	})
+	r.env.Run()
+
+	if early == nil || late == nil {
+		t.Fatal("requests never issued")
+	}
+	if !errors.Is(early.Err(), ErrCanceled) {
+		t.Errorf("pre-threshold cancel err = %v, want ErrCanceled", early.Err())
+	}
+	if !errors.Is(late.Err(), ErrCanceled) {
+		t.Errorf("post-hedge cancel err = %v, want ErrCanceled", late.Err())
+	}
+	if n := c.Faults.Get("hedges"); n != 1 {
+		t.Errorf("hedges counter = %d, want exactly the post-threshold one", n)
+	}
+	if n := c.Faults.Get("cancels"); n != 2 {
+		t.Errorf("cancels counter = %d, want 2", n)
+	}
+}
+
+// TestWaitAnyAcrossReplicas: WaitAny parked over GETs in flight to distinct
+// replicas wakes on whichever server answers first — here the only live
+// one — while the request to the crashed replica stays pending until it is
+// explicitly canceled.
+func TestWaitAnyAcrossReplicas(t *testing.T) {
+	r := newTestRig(rigOpts{
+		transport: RDMA, pipeline: server.Async, servers: 2,
+		clientCfg: func(cc *Config) { cc.Replicas = 2 },
+	})
+	c := r.client
+
+	// Two keys homed on different primaries, so the two GETs go to
+	// distinct replicas of the two-server set.
+	var keyA, keyB string
+	for i := 0; i < 64 && (keyA == "" || keyB == ""); i++ {
+		k := fmt.Sprintf("wa:%02d", i)
+		if c.ring.Pick(k) == 0 && keyA == "" {
+			keyA = k
+		}
+		if c.ring.Pick(k) == 1 && keyB == "" {
+			keyB = k
+		}
+	}
+	if keyA == "" || keyB == "" {
+		t.Fatal("could not find keys on both primaries")
+	}
+
+	var reqs []*Req
+	woke := -1
+	r.env.Spawn("bench", func(p *sim.Proc) {
+		r.servers[0].Crash()
+		ra, err := c.Issue(p, Op{Code: protocol.OpGet, Key: keyA})
+		if err != nil {
+			t.Errorf("issue: %v", err)
+			return
+		}
+		rb, err := c.Issue(p, Op{Code: protocol.OpGet, Key: keyB})
+		if err != nil {
+			t.Errorf("issue: %v", err)
+			return
+		}
+		reqs = []*Req{ra, rb}
+		woke = c.WaitAny(p, reqs)
+		c.Cancel(ra) // the dead replica will never answer; drain the sim
+	})
+	r.env.Run()
+
+	if woke != 1 {
+		t.Fatalf("WaitAny woke on index %d, want 1 (the live replica's answer)", woke)
+	}
+	if reqs[0].conn.serverID == reqs[1].conn.serverID {
+		t.Error("both GETs routed to the same server; the test never spanned replicas")
+	}
+	if !errors.Is(reqs[1].Err(), ErrNotFound) {
+		t.Errorf("live replica err = %v, want ErrNotFound (clean miss)", reqs[1].Err())
+	}
+	if !errors.Is(reqs[0].Err(), ErrCanceled) {
+		t.Errorf("dead replica err = %v, want ErrCanceled after cleanup", reqs[0].Err())
+	}
+}

@@ -43,17 +43,29 @@ type Window struct {
 	From, To sim.Time
 }
 
+// DirWindow is one asymmetric (one-directional) partition: messages from Src
+// to Dst in [From, To) are dropped, while the reverse direction keeps
+// flowing. This models the classic half-open failure — a dead transmit path
+// with a live receive path — that symmetric link-down windows cannot
+// express, and that replication ack/retry logic must survive.
+type DirWindow struct {
+	Src, Dst string
+	From, To sim.Time
+}
+
 // Injector implements simnet.FaultInjector with seeded randomness.
 type Injector struct {
-	cfg     Config
-	rng     *rand.Rand
-	windows []Window
+	cfg        Config
+	rng        *rand.Rand
+	windows    []Window
+	dirWindows []DirWindow
 
 	// Stats
-	Drops     int64 // random drops
-	Dups      int64
-	Spikes    int64
-	LinkDrops int64 // drops due to a link-down window
+	Drops          int64 // random drops
+	Dups           int64
+	Spikes         int64
+	LinkDrops      int64 // drops due to a link-down window
+	PartitionDrops int64 // drops due to an asymmetric partition window
 }
 
 // New returns an injector for cfg.
@@ -70,6 +82,23 @@ func (in *Injector) AddLinkDown(node string, from, to sim.Time) {
 	in.windows = append(in.windows, Window{Node: node, From: from, To: to})
 }
 
+// AddPartition schedules an asymmetric partition: messages from src to dst
+// in [from, to) are dropped; dst→src traffic is unaffected. Call twice with
+// the arguments swapped for a symmetric partition between two nodes.
+func (in *Injector) AddPartition(src, dst string, from, to sim.Time) {
+	in.dirWindows = append(in.dirWindows, DirWindow{Src: src, Dst: dst, From: from, To: to})
+}
+
+// Partitioned reports whether the src→dst direction is cut at time at.
+func (in *Injector) Partitioned(src, dst string, at sim.Time) bool {
+	for _, w := range in.dirWindows {
+		if w.Src == src && w.Dst == dst && at >= w.From && at < w.To {
+			return true
+		}
+	}
+	return false
+}
+
 // LinkDown reports whether node's link is down at time at.
 func (in *Injector) LinkDown(node string, at sim.Time) bool {
 	for _, w := range in.windows {
@@ -84,7 +113,8 @@ func (in *Injector) LinkDown(node string, at sim.Time) bool {
 // inactive injector never consults its RNG, so installing one with a zero
 // Config leaves the simulation bit-identical to having none.
 func (in *Injector) Active() bool {
-	return in.cfg.Drop > 0 || in.cfg.Dup > 0 || in.cfg.Spike > 0 || len(in.windows) > 0
+	return in.cfg.Drop > 0 || in.cfg.Dup > 0 || in.cfg.Spike > 0 ||
+		len(in.windows) > 0 || len(in.dirWindows) > 0
 }
 
 // Transmit decides the fate of one message at serialization end.
@@ -95,6 +125,11 @@ func (in *Injector) Transmit(src, dst string, size int, now sim.Time) simnet.Ver
 	}
 	if in.LinkDown(src, now) || in.LinkDown(dst, now) {
 		in.LinkDrops++
+		v.Drop = true
+		return v
+	}
+	if in.Partitioned(src, dst, now) {
+		in.PartitionDrops++
 		v.Drop = true
 		return v
 	}
@@ -121,5 +156,6 @@ func (in *Injector) Counters() *metrics.Counters {
 	c.Add("net-dups", in.Dups)
 	c.Add("net-spikes", in.Spikes)
 	c.Add("net-link-drops", in.LinkDrops)
+	c.Add("net-partition-drops", in.PartitionDrops)
 	return c
 }

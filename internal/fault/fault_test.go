@@ -101,6 +101,50 @@ func TestLinkDownWindow(t *testing.T) {
 	}
 }
 
+func TestAsymmetricPartitionDropsOneDirectionOnly(t *testing.T) {
+	in := New(Config{Seed: 1})
+	in.AddPartition("a", "b", 100, 200)
+	if !in.Active() {
+		t.Error("injector with a partition window reports inactive")
+	}
+	cases := []struct {
+		src, dst string
+		at       sim.Time
+		drop     bool
+	}{
+		{"a", "b", 99, false},  // before the window
+		{"a", "b", 100, true},  // window start is inclusive
+		{"b", "a", 150, false}, // reverse direction keeps flowing
+		{"a", "b", 199, true},
+		{"a", "b", 200, false}, // window end is exclusive
+		{"a", "c", 150, false}, // other destinations unaffected
+		{"c", "b", 150, false}, // other sources unaffected
+	}
+	for _, tc := range cases {
+		if got := in.Transmit(tc.src, tc.dst, 10, tc.at).Drop; got != tc.drop {
+			t.Errorf("Transmit(%s→%s @%d).Drop = %v, want %v", tc.src, tc.dst, tc.at, got, tc.drop)
+		}
+	}
+	if in.PartitionDrops != 2 {
+		t.Errorf("PartitionDrops = %d, want 2", in.PartitionDrops)
+	}
+	if in.LinkDrops != 0 || in.Drops != 0 {
+		t.Errorf("partition drops leaked into other counters: link=%d random=%d", in.LinkDrops, in.Drops)
+	}
+	if c := in.Counters(); c.Get("net-partition-drops") != 2 {
+		t.Errorf("net-partition-drops counter = %d, want 2", c.Get("net-partition-drops"))
+	}
+}
+
+func TestSymmetricPartitionFromTwoDirWindows(t *testing.T) {
+	in := New(Config{Seed: 1})
+	in.AddPartition("a", "b", 0, 100)
+	in.AddPartition("b", "a", 0, 100)
+	if !in.Transmit("a", "b", 10, 50).Drop || !in.Transmit("b", "a", 10, 50).Drop {
+		t.Error("two mirrored DirWindows did not cut both directions")
+	}
+}
+
 func TestSpikeDelayDefaults(t *testing.T) {
 	in := New(Config{Seed: 3, Spike: 1})
 	v := in.Transmit("a", "b", 10, 0)

@@ -76,6 +76,39 @@ func TestCrashWindowExcusesLoss(t *testing.T) {
 	}
 }
 
+// TestReplicatedModeDropsStaleReadCrashExcuse: with R ≥ 2 a crash cannot
+// resurrect an older epoch (cold-restarted replicas confirm suspect keys
+// against peers before serving them), so the same pre-crash-write /
+// post-crash-stale-read pattern that TestCrashWindowExcusesLoss accepts is
+// flagged when Replicated is set — while the acked-write-lost and
+// counter-regression excuses remain.
+func TestReplicatedModeDropsStaleReadCrashExcuse(t *testing.T) {
+	l := &Log{Replicated: true}
+	l.CrashWindow(us(10), us(20))
+	l.Record(Entry{Kind: Write, Key: "k", Seq: 1, OK: true, IssuedAt: us(1), CompletedAt: us(2)})
+	l.Record(Entry{Kind: Write, Key: "k", Seq: 2, OK: true, IssuedAt: us(5), CompletedAt: us(6)})
+	l.Record(Entry{Kind: Read, Key: "k", Seq: 1, Hit: true, OK: true, IssuedAt: us(25), CompletedAt: us(26)})
+	// These two stay excused by the crash window even in replicated mode.
+	l.Record(Entry{Kind: Write, Key: "a", Seq: 1, OK: false, Acked: true, IssuedAt: us(8), CompletedAt: us(30)})
+	l.Record(Entry{Kind: IncrOp, Key: "c", Seq: 7, OK: true, IssuedAt: us(3), CompletedAt: us(4)})
+	l.Record(Entry{Kind: IncrOp, Key: "c", Seq: 2, OK: true, IssuedAt: us(25), CompletedAt: us(26)})
+	got := rules(l.Check())
+	if got["stale-read"] != 1 {
+		t.Errorf("replicated-mode stale read across a crash not detected: %v", got)
+	}
+	if got["acked-write-lost"] != 0 || got["counter-regression"] != 0 {
+		t.Errorf("replicated mode wrongly dropped other crash excuses: %v", got)
+	}
+	// A miss after the crash stays legal: eviction is still a cache's right.
+	l2 := &Log{Replicated: true}
+	l2.CrashWindow(us(10), us(20))
+	l2.Record(Entry{Kind: Write, Key: "k", Seq: 2, OK: true, IssuedAt: us(5), CompletedAt: us(6)})
+	l2.Record(Entry{Kind: Read, Key: "k", Hit: false, OK: false, IssuedAt: us(25), CompletedAt: us(26)})
+	if vs := l2.Check(); len(vs) != 0 {
+		t.Errorf("replicated-mode miss flagged: %v", vs)
+	}
+}
+
 // TestFutureReadNotExcusedByCrash: corruption is never excused — a crash
 // cannot invent a value nobody wrote.
 func TestFutureReadNotExcusedByCrash(t *testing.T) {

@@ -75,6 +75,19 @@ func (m *Manager) AbortEvictionBatches() {
 	}
 }
 
+// WipeSSD discards every durable extent of the backing file, modeling a
+// node brought back on replacement hardware: a subsequent cold-restart
+// recovery scan finds an empty device. RAM-side state is untouched; pair
+// with Server.Kill + RestartCold.
+func (m *Manager) WipeSSD() {
+	if m.file == nil {
+		return
+	}
+	for _, off := range m.file.DurableOffsets() {
+		m.file.Discard(off)
+	}
+}
+
 // resetVolatile discards every RAM-side structure, modeling the cold
 // restart itself. The manager's generation bumps so workers suspended in
 // I/O across the crash abandon their work on resume.

@@ -97,6 +97,12 @@ const (
 	// a retry-after hint (Response.RetryAfterUS) in the flags slot;
 	// clients treat it as retryable backpressure.
 	StatusBusy
+	// StatusNoReplica fails a replicated write whose coordinator could not
+	// complete the replication chain (peers dead, partitioned, or holding
+	// conflicting epochs beyond the retry budget). The write may have
+	// landed on a subset of replicas; clients treat it as retryable and
+	// anti-entropy reconverges the subset.
+	StatusNoReplica
 )
 
 func (s Status) String() string {
@@ -123,6 +129,8 @@ func (s Status) String() string {
 		return "RECOVERING"
 	case StatusBusy:
 		return "BUSY"
+	case StatusNoReplica:
+		return "NO_REPLICA"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }

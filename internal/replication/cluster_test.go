@@ -1,0 +1,222 @@
+package replication_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hybridkv/internal/cluster"
+	"hybridkv/internal/protocol"
+	"hybridkv/internal/replication"
+	"hybridkv/internal/sim"
+)
+
+// The cluster-level contracts: these drive real writes through a three
+// server, R=2 cluster and then inspect the servers' stores directly, so
+// they pin down what "replicated" means independently of the client path.
+
+const (
+	itKeys  = 32
+	itValue = 512
+)
+
+func itKey(i int) string { return fmt.Sprintf("it:%04d", i) }
+
+// itRing rebuilds the replica mapping the cluster used: NewRing over the
+// same ids is deterministic, so the test knows each key's replica set
+// without reaching into unexported state.
+func itRing(servers int) *replication.Ring {
+	ring := replication.NewRing()
+	for i := 0; i < servers; i++ {
+		ring.Add(i)
+	}
+	return ring
+}
+
+func itCluster() *cluster.Cluster {
+	return cluster.New(cluster.Config{
+		Design:            cluster.HRDMAOptNonBB,
+		Profile:           cluster.ClusterA(),
+		Servers:           3,
+		Clients:           1,
+		ServerMem:         8 << 20,
+		ReplicationFactor: 2,
+	})
+}
+
+// A completed SET must be on every member of the key's replica set — that
+// is the ack's durability promise — and on no one else (a proxy
+// coordinator forwards, it does not hoard).
+func TestWriteReplicatesToAllMembers(t *testing.T) {
+	cl := itCluster()
+	c := cl.Clients[0]
+	ring := itRing(3)
+
+	cl.Env.Spawn("it-driver", func(p *sim.Proc) {
+		for i := 0; i < itKeys; i++ {
+			c.Set(p, itKey(i), itValue, uint64(i+1), 0, 0)
+		}
+		for i := 0; i < itKeys; i++ {
+			key := itKey(i)
+			member := map[int]bool{}
+			for _, id := range ring.Replicas(key, 2) {
+				member[id] = true
+			}
+			for sid, s := range cl.Servers {
+				v, _, _, _, ok := s.Store().ReadItem(p, key)
+				if member[sid] && !ok {
+					t.Errorf("server %d is a replica of %q but does not hold it", sid, key)
+				}
+				if !member[sid] && ok {
+					t.Errorf("server %d holds %q without being a replica", sid, key)
+				}
+				if ok {
+					if seq, _ := v.(uint64); seq != uint64(i+1) {
+						t.Errorf("server %d holds %q at seq %d, want %d", sid, key, seq, i+1)
+					}
+				}
+			}
+		}
+	})
+	cl.Env.Run()
+
+	total := cl.ReplicationCounters()
+	if total.Get("forwards") == 0 {
+		t.Error("no write was ever forwarded")
+	}
+}
+
+// A coordinator outside the key's replica set must still drive the chain —
+// forward to both members, wait for their acks — without applying locally.
+func TestProxyCoordinatorForwardsWithoutApplying(t *testing.T) {
+	cl := itCluster()
+	ring := itRing(3)
+
+	// Find a key whose replica set excludes server 2.
+	key, member := "", map[int]bool{}
+	for i := 0; i < 256; i++ {
+		k := fmt.Sprintf("proxy:%04d", i)
+		m := map[int]bool{}
+		for _, id := range ring.Replicas(k, 2) {
+			m[id] = true
+		}
+		if !m[2] {
+			key, member = k, m
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key maps away from server 2")
+	}
+
+	cl.Env.Spawn("it-proxy", func(p *sim.Proc) {
+		r := cl.Replicators[2]
+		req := &protocol.Request{Op: protocol.OpSet, Key: key, ValueSize: itValue, Value: uint64(7)}
+		resp := r.Execute(p, req, r.Begin(p, req))
+		if resp.Status != protocol.StatusStored {
+			t.Fatalf("proxy-coordinated SET answered %v", resp.Status)
+		}
+		for sid, s := range cl.Servers {
+			_, _, _, _, ok := s.Store().ReadItem(p, key)
+			if member[sid] && !ok {
+				t.Errorf("replica %d missing proxy-coordinated write of %q", sid, key)
+			}
+			if !member[sid] && ok {
+				t.Errorf("non-member %d applied proxy-coordinated write of %q", sid, key)
+			}
+		}
+	})
+	cl.Env.Run()
+}
+
+// Whole-node kill with the SSD wiped: the restarted node comes back owning
+// nothing, and the anti-entropy scrubber — kicked by the cold recovery —
+// must re-fetch every key the node shares from the surviving replicas,
+// without any client traffic driving it.
+func TestWipedNodeReconvergesViaScrub(t *testing.T) {
+	cl := itCluster()
+	c := cl.Clients[0]
+	ring := itRing(3)
+	victim := 1
+
+	cl.Env.Spawn("it-kill", func(p *sim.Proc) {
+		for i := 0; i < itKeys; i++ {
+			c.Set(p, itKey(i), itValue, uint64(i+1), 0, 0)
+		}
+		s := cl.Servers[victim]
+		s.Kill(true)
+		p.Sleep(300 * sim.Microsecond)
+		s.RestartCold()
+		for s.Recovering() {
+			p.Sleep(100 * sim.Microsecond)
+		}
+		// Let the scrub bursts run; repair applies re-kick, so convergence
+		// does not depend on the first burst finishing the job.
+		p.Sleep(30 * sim.Millisecond)
+		for i := 0; i < itKeys; i++ {
+			key := itKey(i)
+			shared := false
+			for _, id := range ring.Replicas(key, 2) {
+				if id == victim {
+					shared = true
+				}
+			}
+			if !shared {
+				continue
+			}
+			v, _, _, _, ok := s.Store().ReadItem(p, key)
+			if !ok {
+				t.Errorf("wiped node never re-fetched its replica of %q", key)
+				continue
+			}
+			if seq, _ := v.(uint64); seq != uint64(i+1) {
+				t.Errorf("wiped node re-fetched %q at seq %d, want %d", key, seq, i+1)
+			}
+		}
+	})
+	cl.Env.Run()
+
+	total := cl.ReplicationCounters()
+	if total.Get("repair-pushes") == 0 {
+		t.Error("reconvergence without a single repair push — scrub never ran")
+	}
+	if total.Get("scrub-rounds") == 0 {
+		t.Error("no scrub round after a cold recovery kick")
+	}
+}
+
+// Whole-node kill with the SSD intact: recovery resurrects the values but
+// marks them suspect; the scrubber confirms them against the peers. After
+// the settle every suspect is resolved — served values match the freshest
+// epoch — and the run records confirmations, not stale serves.
+func TestColdRestartSuspectsConfirmed(t *testing.T) {
+	cl := itCluster()
+	c := cl.Clients[0]
+	victim := 0
+
+	cl.Env.Spawn("it-restart", func(p *sim.Proc) {
+		for i := 0; i < itKeys; i++ {
+			c.Set(p, itKey(i), itValue, uint64(i+1), 0, 0)
+		}
+		s := cl.Servers[victim]
+		s.Kill(false)
+		p.Sleep(300 * sim.Microsecond)
+		s.RestartCold()
+		for s.Recovering() {
+			p.Sleep(100 * sim.Microsecond)
+		}
+		p.Sleep(30 * sim.Millisecond)
+		// Client reads must still see the latest value for every key, no
+		// matter which replica serves them.
+		for i := 0; i < itKeys; i++ {
+			v, _, status := c.Get(p, itKey(i))
+			if status != protocol.StatusOK {
+				t.Errorf("get %q after restart: %v", itKey(i), status)
+				continue
+			}
+			if seq, _ := v.(uint64); seq != uint64(i+1) {
+				t.Errorf("get %q observed seq %d, want %d", itKey(i), seq, i+1)
+			}
+		}
+	})
+	cl.Env.Run()
+}

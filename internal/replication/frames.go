@@ -1,0 +1,70 @@
+package replication
+
+// Frame kinds of the server-to-server replication protocol. Frames travel
+// as verbs SENDs over the replicators' dedicated QP mesh, so they pay real
+// fabric latency and are subject to fault injection like any other traffic.
+type frameKind int
+
+const (
+	// frameWrite carries a write: a coordinator forward (acked) or an
+	// anti-entropy / read-repair / pull-reply push (Repair, unacked).
+	frameWrite frameKind = iota
+	// frameAck answers a coordinator forward: applied, or stale-rejected
+	// with the replica's newer epoch.
+	frameAck
+	// framePull asks a peer to push its confirmed copy of a key.
+	framePull
+	// framePullMiss answers a pull when the peer has no confirmed copy.
+	framePullMiss
+	// frameProbe is the read-repair rendezvous: "I just served this key at
+	// this epoch" — a lagging peer asks for a push, a fresher one pushes.
+	frameProbe
+	// frameDigest carries a scrubber's bucketed epoch digest.
+	frameDigest
+	// frameDiff answers a digest with the receiver's entries for every
+	// bucket that differed.
+	frameDiff
+)
+
+// KeyEpoch is one digest-diff entry.
+type KeyEpoch struct {
+	Key   string
+	Epoch uint64
+	Del   bool
+}
+
+// frame is the single wire message of the replication protocol; Kind
+// selects which fields are meaningful.
+type frame struct {
+	Kind frameKind
+	From int    // sender's server id
+	ID   uint64 // forward round id (frameWrite/frameAck)
+
+	Key    string
+	Epoch  uint64
+	Del    bool
+	Repair bool // frameWrite: unacked repair push
+
+	Applied bool // frameAck: false = stale-rejected, Epoch holds the newer one
+
+	Value     any
+	ValueSize int
+	Flags     uint32
+	Expire    uint32
+
+	Buckets []uint64   // frameDigest: digest; frameDiff: differing bucket ids
+	Entries []KeyEpoch // frameDiff
+}
+
+// frameHeaderBytes is the modeled fixed overhead of one replication frame
+// (kind, ids, epoch, lengths) — deliberately roomy, like a real RPC header.
+const frameHeaderBytes = 64
+
+// wireSize is the modeled fabric size of the frame.
+func (f *frame) wireSize() int {
+	n := frameHeaderBytes + len(f.Key) + f.ValueSize + 8*len(f.Buckets)
+	for _, e := range f.Entries {
+		n += len(e.Key) + 9 // key + epoch + del bit
+	}
+	return n
+}

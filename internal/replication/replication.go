@@ -1,0 +1,862 @@
+package replication
+
+import (
+	"sort"
+
+	"hybridkv/internal/metrics"
+	"hybridkv/internal/protocol"
+	"hybridkv/internal/sim"
+	"hybridkv/internal/store"
+	"hybridkv/internal/verbs"
+)
+
+// Replication protocol overview
+//
+// Every server hosts a Replicator sharing the server's verbs Device, so
+// replication frames traverse the same simulated fabric as client traffic
+// and are subject to the same fault injection (drops, duplicates, delay
+// spikes, link-down windows, asymmetric partitions).
+//
+// Writes: the coordinator (whichever server admitted the request — the
+// primary in the common case, a backup or even a non-replica after client
+// failover) assigns the key a fresh version epoch and forwards the
+// post-image to every other replica BEFORE the acknowledgement, overlapping
+// the peers' applies with its own slab phase. The response (and the
+// buffered early-ack, when requested) is withheld until every replica
+// acknowledged, so a completed write is durable on R nodes: that is the
+// invariant that lets the history checker demand "no acked write lost"
+// across whole-node kills.
+//
+// Epochs are per-key and totally ordered across coordinators: the high 56
+// bits count coordination rounds, the low byte is the coordinator's server
+// id, so two concurrent coordinators can never mint the same epoch and
+// last-write-wins resolution is deterministic. A replica holding a newer
+// epoch rejects the apply and returns its epoch in the ack; the coordinator
+// re-coordinates above it (counted as an epoch-conflict) unless its own
+// store has already been superseded by the newer write, in which case the
+// older write completes as overwritten.
+//
+// Reads: any replica may serve a GET. Completed writes are on all replicas,
+// so replica reads never serve stale data while nodes are merely slow or
+// partitioned. The dangerous window is a cold restart after a whole-node
+// kill: the SSD resurrects old values whose RAM epoch table died with the
+// node. All recovered keys are therefore marked *suspect*; a suspect key
+// must be confirmed against its peer replicas (a synchronous pull) before
+// it is served. If no peer can confirm within the pull timeout the server
+// answers a miss rather than risk resurrecting a superseded value — the
+// stale-reads-prevented counter tracks exactly those refusals.
+//
+// Anti-entropy: a background scrubber periodically exchanges bucketed
+// epoch digests with each peer and pushes/pulls whatever diverged, so
+// replicas reconverge after partitions heal even for keys no client
+// touches again (repair-pushes counts the repair traffic, shared with the
+// read-repair probes piggybacked on served GETs).
+
+// Config parameterizes one server's replicator.
+type Config struct {
+	// ID is the server id (the client ring's connection index).
+	ID int
+	// Factor is the replication factor R: each key lives on its primary
+	// plus R−1 backups.
+	Factor int
+	// ReadRepairEvery probes the peer replicas for epoch divergence on
+	// every Nth served GET hit (0 disables read repair).
+	ReadRepairEvery int
+	// ScrubInterval is the anti-entropy digest exchange period.
+	ScrubInterval sim.Time
+	// ScrubBuckets is the digest width: keys fold into this many buckets.
+	ScrubBuckets int
+	// AckTimeout bounds one wait-for-acks round of a write forward; unacked
+	// peers are re-sent the frame after each round.
+	AckTimeout sim.Time
+	// AckRetries is the number of resend rounds before the coordinator
+	// gives up and fails the write with StatusNoReplica.
+	AckRetries int
+	// PullTimeout bounds a synchronous suspect-confirmation pull.
+	PullTimeout sim.Time
+}
+
+func (c *Config) fill() {
+	if c.ReadRepairEvery == 0 {
+		c.ReadRepairEvery = 8
+	}
+	if c.ScrubInterval == 0 {
+		c.ScrubInterval = 2 * sim.Millisecond
+	}
+	if c.ScrubBuckets == 0 {
+		c.ScrubBuckets = 32
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 300 * sim.Microsecond
+	}
+	if c.AckRetries == 0 {
+		c.AckRetries = 3
+	}
+	if c.PullTimeout == 0 {
+		c.PullTimeout = 300 * sim.Microsecond
+	}
+}
+
+// recvDepth is the receive-WR pool pre-posted per peer QP. The engine
+// re-posts after every completion; the pool only bounds frames in flight
+// while the engine is busy applying.
+const recvDepth = 4096
+
+// maxCoordRounds bounds epoch-conflict re-coordination attempts per write.
+const maxCoordRounds = 3
+
+// keyState is the RAM-resident epoch record for one key. It dies with the
+// node on a whole-node kill — which is exactly why cold-recovered keys come
+// back suspect.
+type keyState struct {
+	epoch   uint64
+	del     bool // tombstone: the latest epoch deleted the key
+	suspect bool // cold-recovered, unconfirmed by any peer
+
+	// Open synchronous pull, shared by concurrent readers of the key.
+	pull     *sim.Event
+	pullLeft int // peers yet to answer; data or all-miss fires the event
+}
+
+// Forward is one write's replication round, opened at admission time so the
+// peer forwards overlap the coordinator's local storage phase.
+type Forward struct {
+	id    uint64
+	key   string
+	epoch uint64
+	del   bool
+	proxy bool // coordinator is not in the replica set: no local apply
+
+	value     any
+	valueSize int
+	flags     uint32
+	expire    uint32
+
+	waiting  map[int]bool // peer ids still owing an ack
+	conflict uint64       // highest epoch seen in stale-reject acks
+	done     *sim.Event   // fired when waiting drains
+}
+
+type peerLink struct {
+	id int
+	qp *verbs.QP
+}
+
+// Replicator is one server's replication engine.
+type Replicator struct {
+	env  *sim.Env
+	cfg  Config
+	ring *Ring
+	st   *store.Store
+	dev  *verbs.Device
+	down func() bool // host server crashed or recovering: drop frames
+
+	sendCQ  *verbs.CQ
+	recvCQ  *verbs.CQ
+	peers   map[int]*peerLink
+	peerIDs []int // sorted; all sends iterate this for determinism
+	qpByQPN map[int]*verbs.QP
+
+	keys   map[string]*keyState
+	fwds   map[uint64]*Forward
+	nextID uint64
+	gets   uint64 // served GET hits, drives the read-repair cadence
+
+	// Scrubber arming: every local epoch advance grants the scrubber a
+	// fresh burst of digest rounds, after which it blocks until the next
+	// kick. A quiescent cluster therefore schedules no timers and the
+	// simulation can drain (Env.Run terminates).
+	scrubWake *sim.Event
+	scrubLeft int
+
+	// Counters: forwards, forward-resends, epoch-conflicts, repair-pushes,
+	// repair-pulls, stale-reads-prevented, suspect-drops, pull-confirms.
+	Counters *metrics.Counters
+}
+
+// New creates a replicator for server cfg.ID over its store and device.
+// Interconnect must be called on the full set before the simulation runs.
+func New(env *sim.Env, cfg Config, ring *Ring, st *store.Store, dev *verbs.Device) *Replicator {
+	cfg.fill()
+	return &Replicator{
+		env: env, cfg: cfg, ring: ring, st: st, dev: dev,
+		peers:    make(map[int]*peerLink),
+		qpByQPN:  make(map[int]*verbs.QP),
+		keys:     make(map[string]*keyState),
+		fwds:     make(map[uint64]*Forward),
+		Counters: metrics.NewCounters(),
+	}
+}
+
+// ID returns the replicator's server id.
+func (r *Replicator) ID() int { return r.cfg.ID }
+
+// SetDown installs the host server's liveness probe: while it reports true
+// the engine discards incoming frames (a crashed node neither applies nor
+// acks).
+func (r *Replicator) SetDown(fn func() bool) { r.down = fn }
+
+// isDown reports whether the host server is crashed.
+func (r *Replicator) isDown() bool { return r.down != nil && r.down() }
+
+// Interconnect creates the pairwise QPs between every replicator over their
+// servers' devices, pre-posts receive pools, and starts each engine and
+// scrubber. Call once after all replicators are constructed, before the
+// simulation runs.
+func Interconnect(repls []*Replicator) {
+	for _, r := range repls {
+		r.sendCQ = r.dev.CreateCQ(0)
+		r.recvCQ = r.dev.CreateCQ(0)
+	}
+	for i := 0; i < len(repls); i++ {
+		for j := i + 1; j < len(repls); j++ {
+			a, b := repls[i], repls[j]
+			qa := a.dev.CreateQP(a.sendCQ, a.recvCQ)
+			qb := b.dev.CreateQP(b.sendCQ, b.recvCQ)
+			verbs.Connect(qa, qb)
+			for n := 0; n < recvDepth; n++ {
+				qa.PostRecv(verbs.RecvWR{})
+				qb.PostRecv(verbs.RecvWR{})
+			}
+			a.peers[b.cfg.ID] = &peerLink{id: b.cfg.ID, qp: qa}
+			b.peers[a.cfg.ID] = &peerLink{id: a.cfg.ID, qp: qb}
+			a.qpByQPN[qa.QPN()] = qa
+			b.qpByQPN[qb.QPN()] = qb
+		}
+	}
+	for _, r := range repls {
+		r.peerIDs = r.peerIDs[:0]
+		for id := range r.peers {
+			r.peerIDs = append(r.peerIDs, id)
+		}
+		sort.Ints(r.peerIDs)
+		rr := r
+		r.env.Spawn("repl-engine", func(p *sim.Proc) { rr.engine(p) })
+		r.env.Spawn("repl-scrub", func(p *sim.Proc) { rr.scrubber(p) })
+	}
+}
+
+// scrubBurst is how many digest rounds one kick arms. Repair writes that
+// genuinely apply re-kick the receiving node, so convergence propagates
+// transitively; exchanges that find nothing to fix do not, so a converged
+// cluster goes quiet within one burst.
+const scrubBurst = 8
+
+// kick arms the anti-entropy scrubber: local replicated state changed, so
+// it owes the peers a burst of digest exchanges.
+func (r *Replicator) kick() {
+	r.scrubLeft = scrubBurst
+	if r.scrubWake != nil && !r.scrubWake.Fired() {
+		r.scrubWake.Fire()
+	}
+}
+
+// nextEpoch mints an epoch above cur: round counter in the high bits, the
+// coordinator id in the low byte so concurrent coordinators never collide
+// and comparison breaks ties deterministically.
+func (r *Replicator) nextEpoch(cur uint64) uint64 {
+	return ((cur>>8)+1)<<8 | uint64(r.cfg.ID&0xff)
+}
+
+func (r *Replicator) state(key string) *keyState {
+	ks := r.keys[key]
+	if ks == nil {
+		ks = &keyState{}
+		r.keys[key] = ks
+	}
+	return ks
+}
+
+// replicaPeers returns the key's replica set minus self (sorted ascending,
+// which Replicas already guarantees per-position; we re-sort for send
+// determinism) and whether self is a member.
+func (r *Replicator) replicaPeers(key string) (peers []int, member bool) {
+	set := r.ring.Replicas(key, r.cfg.Factor)
+	for _, id := range set {
+		if id == r.cfg.ID {
+			member = true
+		} else {
+			peers = append(peers, id)
+		}
+	}
+	sort.Ints(peers)
+	return peers, member
+}
+
+// send posts one frame to a peer replicator over the verbs fabric.
+func (r *Replicator) send(p *sim.Proc, pid int, f *frame) {
+	pl := r.peers[pid]
+	if pl == nil {
+		return
+	}
+	f.From = r.cfg.ID
+	pl.qp.PostSend(p, verbs.SendWR{Op: verbs.OpSend, Size: f.wireSize(), Payload: f})
+}
+
+// Begin opens a replication round for an admitted SET or DELETE and posts
+// the forward frames, so the peer applies overlap the local storage phase.
+// Returns nil for any other opcode (RMW post-images replicate inside
+// Execute, after the local apply decides the outcome).
+func (r *Replicator) Begin(p *sim.Proc, req *protocol.Request) *Forward {
+	switch req.Op {
+	case protocol.OpSet:
+		return r.begin(p, req.Key, false, req.Value, req.ValueSize, req.Flags, req.Expire)
+	case protocol.OpDelete:
+		return r.begin(p, req.Key, true, nil, 0, 0, 0)
+	}
+	return nil
+}
+
+func (r *Replicator) begin(p *sim.Proc, key string, del bool, value any, valueSize int, flags, expire uint32) *Forward {
+	peers, member := r.replicaPeers(key)
+	ks := r.state(key)
+	r.nextID++
+	fwd := &Forward{
+		id: r.nextID, key: key, del: del, proxy: !member,
+		epoch: r.nextEpoch(ks.epoch),
+		value: value, valueSize: valueSize, flags: flags, expire: expire,
+		waiting: make(map[int]bool, len(peers)),
+		done:    r.env.NewEvent(),
+	}
+	for _, pid := range peers {
+		fwd.waiting[pid] = true
+	}
+	r.fwds[fwd.id] = fwd
+	if len(fwd.waiting) == 0 {
+		fwd.done.Fire()
+	}
+	r.Counters.Add("forwards", 1)
+	r.sendWrite(p, fwd)
+	return fwd
+}
+
+func (r *Replicator) sendWrite(p *sim.Proc, fwd *Forward) {
+	pids := make([]int, 0, len(fwd.waiting))
+	for pid := range fwd.waiting {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		r.send(p, pid, &frame{
+			Kind: frameWrite, ID: fwd.id, Key: fwd.key, Epoch: fwd.epoch,
+			Del: fwd.del, Value: fwd.value, ValueSize: fwd.valueSize,
+			Flags: fwd.flags, Expire: fwd.expire,
+		})
+	}
+}
+
+// Execute runs one request through the replicated storage phase: it is the
+// drop-in replacement for store.Handle on servers with a replicator
+// attached. fwd is the round opened by Begin at admission time (nil for
+// reads, RMW ops, and unreplicated opcodes).
+func (r *Replicator) Execute(p *sim.Proc, req *protocol.Request, fwd *Forward) *protocol.Response {
+	resp := r.applyPhase(p, req, fwd)
+	return r.finishPhase(p, req, resp, fwd)
+}
+
+// ExecuteBatch is the replicated HandleBatch: the whole batch's applies run
+// inside one eviction-coalescing window (forwards for the batch were opened
+// back-to-back at admission), then the coordinator waits for every member's
+// replication round.
+func (r *Replicator) ExecuteBatch(p *sim.Proc, reqs []*protocol.Request, fwds []*Forward) []*protocol.Response {
+	mgr := r.st.Manager()
+	mgr.BeginEvictionBatch(p)
+	resps := make([]*protocol.Response, len(reqs))
+	for i, req := range reqs {
+		resps[i] = r.applyPhase(p, req, fwds[i])
+	}
+	mgr.EndEvictionBatch(p)
+	for i, req := range reqs {
+		resps[i] = r.finishPhase(p, req, resps[i], fwds[i])
+	}
+	return resps
+}
+
+// applyPhase performs the local storage work for one request. For SET and
+// DELETE the ack wait is deferred to finishPhase so batch members overlap;
+// GETs and RMW opcodes complete entirely here.
+func (r *Replicator) applyPhase(p *sim.Proc, req *protocol.Request, fwd *Forward) *protocol.Response {
+	switch req.Op {
+	case protocol.OpSet, protocol.OpDelete:
+		return r.applyLocalWrite(p, req, fwd)
+	case protocol.OpGet:
+		return r.executeGet(p, req)
+	case protocol.OpFlushAll:
+		// flush_all is a cache-wide administrative wipe, not a keyed write;
+		// it is deliberately not replicated (each server is flushed by the
+		// operator individually, as with real memcached pools).
+		return r.st.Handle(p, req)
+	default:
+		return r.executeRMW(p, req)
+	}
+}
+
+// finishPhase completes a SET/DELETE round: wait for every replica ack and
+// fail the write with StatusNoReplica if the chain cannot be completed.
+func (r *Replicator) finishPhase(p *sim.Proc, req *protocol.Request, resp *protocol.Response, fwd *Forward) *protocol.Response {
+	if fwd == nil || resp == nil {
+		return resp
+	}
+	if resp.Status != protocol.StatusStored && resp.Status != protocol.StatusDeleted &&
+		resp.Status != protocol.StatusNotFound {
+		// Local apply failed outright (recovering, too large): the client
+		// sees that failure; peers that applied anyway reconverge via
+		// anti-entropy.
+		delete(r.fwds, fwd.id)
+		return resp
+	}
+	if !r.await(p, fwd) {
+		resp.Status = protocol.StatusNoReplica
+		resp.Value, resp.ValueSize = nil, 0
+	}
+	return resp
+}
+
+// applyLocalWrite applies a SET/DELETE on the coordinator under the epoch
+// guard and updates the key's epoch record.
+func (r *Replicator) applyLocalWrite(p *sim.Proc, req *protocol.Request, fwd *Forward) *protocol.Response {
+	resp := &protocol.Response{Op: protocol.OpResponse, ReqID: req.ReqID}
+	if fwd == nil {
+		return r.st.Handle(p, req)
+	}
+	if fwd.proxy {
+		// Pure coordinator: this server is not in the key's replica set
+		// (the client failed over here). It forwards but must not keep a
+		// local copy that nothing would ever repair.
+		if fwd.del {
+			resp.Status = protocol.StatusDeleted
+		} else {
+			resp.Status = protocol.StatusStored
+		}
+		return resp
+	}
+	ks := r.state(fwd.key)
+	if fwd.epoch <= ks.epoch {
+		// A concurrent coordinator already applied a newer epoch locally:
+		// last-write-wins, this write completes as overwritten.
+		if fwd.del {
+			resp.Status = protocol.StatusDeleted
+		} else {
+			resp.Status = protocol.StatusStored
+		}
+		return resp
+	}
+	if fwd.del {
+		resp.Status = r.st.Delete(p, req.Key)
+		if resp.Status == protocol.StatusDeleted || resp.Status == protocol.StatusNotFound {
+			ks.epoch, ks.del, ks.suspect = fwd.epoch, true, false
+			r.kick()
+		}
+		return resp
+	}
+	resp.Status = r.st.Set(p, req.Key, req.ValueSize, req.Value, req.Flags, req.Expire)
+	if resp.Status == protocol.StatusStored {
+		ks.epoch, ks.del, ks.suspect = fwd.epoch, false, false
+		r.kick()
+	}
+	return resp
+}
+
+// await blocks until every replica acked the forward, re-sending to
+// laggards and re-coordinating above conflicting epochs. Returns false when
+// the chain cannot be completed within the retry budget.
+func (r *Replicator) await(p *sim.Proc, fwd *Forward) bool {
+	defer delete(r.fwds, fwd.id)
+	coordRounds := 0
+	for round := 0; ; round++ {
+		if len(fwd.waiting) > 0 {
+			p.WaitTimeout(fwd.done, r.cfg.AckTimeout)
+		}
+		if len(fwd.waiting) == 0 {
+			if fwd.conflict <= fwd.epoch {
+				return true
+			}
+			// A replica rejected the apply holding a newer epoch.
+			if ks := r.keys[fwd.key]; ks != nil && ks.epoch >= fwd.conflict {
+				// The newer write is already applied locally too: this
+				// write completed and was overwritten, which is fine.
+				return true
+			}
+			r.Counters.Add("epoch-conflicts", 1)
+			coordRounds++
+			if coordRounds > maxCoordRounds {
+				return false
+			}
+			// Re-assert this write above the conflicting epoch so every
+			// replica converges on it (deterministic last-write-wins).
+			r.recoordinate(p, fwd)
+			round = -1 // fresh resend budget for the new epoch
+			continue
+		}
+		if round >= r.cfg.AckRetries {
+			return false
+		}
+		r.Counters.Add("forward-resends", 1)
+		r.sendWrite(p, fwd)
+	}
+}
+
+// recoordinate re-opens the round under a fresh epoch above the highest
+// conflict seen, re-applies locally, and re-sends to every peer.
+func (r *Replicator) recoordinate(p *sim.Proc, fwd *Forward) {
+	delete(r.fwds, fwd.id)
+	base := fwd.conflict
+	if ks := r.keys[fwd.key]; ks != nil && ks.epoch > base {
+		base = ks.epoch
+	}
+	fwd.epoch = r.nextEpoch(base)
+	fwd.conflict = 0
+	r.nextID++
+	fwd.id = r.nextID
+	fwd.done = r.env.NewEvent()
+	peers, member := r.replicaPeers(fwd.key)
+	fwd.waiting = make(map[int]bool, len(peers))
+	for _, pid := range peers {
+		fwd.waiting[pid] = true
+	}
+	r.fwds[fwd.id] = fwd
+	if !fwd.proxy && member {
+		ks := r.state(fwd.key)
+		if fwd.del {
+			r.st.Delete(p, fwd.key)
+			ks.epoch, ks.del, ks.suspect = fwd.epoch, true, false
+		} else if r.st.Set(p, fwd.key, fwd.valueSize, fwd.value, fwd.flags, fwd.expire) == protocol.StatusStored {
+			ks.epoch, ks.del, ks.suspect = fwd.epoch, false, false
+		}
+		r.kick()
+	}
+	if len(fwd.waiting) == 0 {
+		fwd.done.Fire()
+	}
+	r.sendWrite(p, fwd)
+}
+
+// executeGet serves a replicated GET: suspect keys are confirmed against
+// peer replicas first, and served hits periodically probe the peers for
+// epoch divergence (read repair).
+func (r *Replicator) executeGet(p *sim.Proc, req *protocol.Request) *protocol.Response {
+	resp := &protocol.Response{Op: protocol.OpResponse, ReqID: req.ReqID}
+	peers, member := r.replicaPeers(req.Key)
+	if !member {
+		// Not a replica for this key: this server holds nothing
+		// authoritative, so the only honest answer is a miss.
+		resp.Status = protocol.StatusNotFound
+		return resp
+	}
+	ks := r.keys[req.Key]
+	if ks != nil && ks.suspect {
+		if !r.syncPull(p, req.Key, ks, peers) {
+			// Unconfirmed cold-recovered value and no peer reachable:
+			// refuse to serve it rather than resurrect a superseded epoch.
+			r.Counters.Add("stale-reads-prevented", 1)
+			resp.Status = protocol.StatusNotFound
+			return resp
+		}
+	}
+	resp = r.st.Handle(p, req)
+	if resp.Status == protocol.StatusOK && r.cfg.ReadRepairEvery > 0 {
+		r.gets++
+		if r.gets%uint64(r.cfg.ReadRepairEvery) == 0 {
+			var epoch uint64
+			if ks := r.keys[req.Key]; ks != nil {
+				epoch = ks.epoch
+			}
+			for _, pid := range peers {
+				r.send(p, pid, &frame{Kind: frameProbe, Key: req.Key, Epoch: epoch})
+			}
+		}
+	}
+	return resp
+}
+
+// executeRMW handles the conditional/mutating command set (add, replace,
+// cas, append, prepend, incr, decr, touch): the local store decides the
+// outcome, then the post-image is replicated like a SET.
+func (r *Replicator) executeRMW(p *sim.Proc, req *protocol.Request) *protocol.Response {
+	peers, member := r.replicaPeers(req.Key)
+	resp := &protocol.Response{Op: protocol.OpResponse, ReqID: req.ReqID}
+	if !member {
+		// Read-modify-write needs the authoritative copy; a non-replica
+		// coordinator cannot decide it. Answer retryable so the client
+		// fails over to a real replica.
+		resp.Status = protocol.StatusRecovering
+		return resp
+	}
+	ks := r.keys[req.Key]
+	if ks != nil && ks.suspect {
+		if !r.syncPull(p, req.Key, ks, peers) {
+			// The current value is unconfirmed; deciding an RMW on it could
+			// resurrect a superseded epoch. Fail retryable instead.
+			r.Counters.Add("stale-reads-prevented", 1)
+			resp.Status = protocol.StatusRecovering
+			return resp
+		}
+	}
+	resp = r.st.Handle(p, req)
+	switch resp.Status {
+	case protocol.StatusStored, protocol.StatusOK:
+	default:
+		return resp
+	}
+	// Replicate the post-image just applied (it may already live on SSD —
+	// ReadItem loads it back without disturbing LRU or stats).
+	value, size, flags, expireAt, ok := r.st.ReadItem(p, req.Key)
+	if !ok {
+		// Evicted-and-dropped in the same instant: nothing replicable; the
+		// key is now a legal miss everywhere.
+		return resp
+	}
+	fwd := r.begin(p, req.Key, false, value, size, flags, expireSeconds(r.env.Now(), expireAt))
+	if !fwd.proxy {
+		r.state(req.Key).epoch = fwd.epoch // local copy was applied by Handle
+		r.kick()
+	}
+	if !r.await(p, fwd) {
+		resp.Status = protocol.StatusNoReplica
+		resp.Value, resp.ValueSize = nil, 0
+	}
+	return resp
+}
+
+// expireSeconds converts an absolute expiry back to the wire's relative
+// seconds, rounding up so a nearly-expired item does not become immortal.
+func expireSeconds(now, expireAt sim.Time) uint32 {
+	if expireAt == 0 {
+		return 0
+	}
+	remaining := expireAt - now
+	if remaining <= 0 {
+		return 1
+	}
+	secs := uint32(remaining / sim.Second)
+	if secs == 0 {
+		secs = 1
+	}
+	return secs
+}
+
+// syncPull confirms a suspect key against its peer replicas: the first
+// peer pushing a confirmed copy (any epoch ≥ 1) clears the suspicion; if
+// every peer answers "don't have it" the local recovered value is dropped
+// (a miss is always legal; serving an unconfirmable resurrected value is
+// not). Returns false on timeout with the key still suspect.
+func (r *Replicator) syncPull(p *sim.Proc, key string, ks *keyState, peers []int) bool {
+	if len(peers) == 0 {
+		// Degenerate single-replica set: nobody can confirm; keep serving
+		// the recovered value as the unreplicated system would.
+		ks.suspect = false
+		return true
+	}
+	if ks.pull == nil {
+		ks.pull = r.env.NewEvent()
+		ks.pullLeft = len(peers)
+		for _, pid := range peers {
+			r.send(p, pid, &frame{Kind: framePull, Key: key})
+		}
+		r.Counters.Add("repair-pulls", 1)
+	}
+	ev := ks.pull
+	p.WaitTimeout(ev, r.cfg.PullTimeout)
+	if !ev.Fired() {
+		// Abandon this round so the next reader restarts the pull (the
+		// frames may have been lost to a partition).
+		if ks.pull == ev {
+			ks.pull = nil
+		}
+		return false
+	}
+	return !ks.suspect
+}
+
+// Wipe models whole-node RAM loss: every epoch record, open forward, and
+// pending pull dies with the node. Called by Server.Kill.
+func (r *Replicator) Wipe() {
+	r.keys = make(map[string]*keyState)
+	r.fwds = make(map[uint64]*Forward)
+}
+
+// OnColdRecovery marks every cold-recovered key suspect: the SSD resurrects
+// values, but the epoch table proving their freshness died with the node,
+// so each must be re-confirmed against a peer before it is served. The
+// server calls this at the end of the recovery scan, before accepting
+// requests again.
+func (r *Replicator) OnColdRecovery(keys []string) {
+	for _, key := range keys {
+		ks := r.state(key)
+		ks.epoch, ks.del, ks.suspect = 0, false, true
+		ks.pull, ks.pullLeft = nil, 0
+	}
+	// Arm the scrubber even when nothing was recovered (wiped SSD): the
+	// digest exchange is how this node learns what the survivors hold.
+	r.kick()
+}
+
+// engine drains the replicator's receive CQ, dispatching peer frames.
+func (r *Replicator) engine(p *sim.Proc) {
+	for {
+		c := r.recvCQ.WaitPoll(p)
+		if qp := r.qpByQPN[c.QPN]; qp != nil {
+			qp.PostRecv(verbs.RecvWR{}) // replenish the pool
+		}
+		f, ok := c.Payload.(*frame)
+		if !ok {
+			continue
+		}
+		if r.isDown() {
+			continue // a dead node neither applies nor acks
+		}
+		r.handle(p, f)
+	}
+}
+
+func (r *Replicator) handle(p *sim.Proc, f *frame) {
+	switch f.Kind {
+	case frameWrite:
+		r.handleWrite(p, f)
+	case frameAck:
+		r.handleAck(f)
+	case framePull:
+		r.handlePull(p, f)
+	case framePullMiss:
+		r.handlePullMiss(p, f)
+	case frameProbe:
+		r.handleProbe(p, f)
+	case frameDigest:
+		r.handleDigest(p, f)
+	case frameDiff:
+		r.handleDiff(p, f)
+	}
+}
+
+// handleWrite applies a forwarded or repair write under the epoch guard.
+func (r *Replicator) handleWrite(p *sim.Proc, f *frame) {
+	ks := r.state(f.Key)
+	switch {
+	case f.Epoch < ks.epoch:
+		// Stale: reject, telling the coordinator the newer epoch.
+		if !f.Repair {
+			r.send(p, f.From, &frame{Kind: frameAck, ID: f.ID, Applied: false, Epoch: ks.epoch, Key: f.Key})
+		}
+		return
+	case f.Epoch == ks.epoch && f.Epoch != 0:
+		// Duplicate delivery of an epoch already applied: ack idempotently.
+		if !f.Repair {
+			r.send(p, f.From, &frame{Kind: frameAck, ID: f.ID, Applied: true, Epoch: ks.epoch, Key: f.Key})
+		}
+		return
+	}
+	var applied bool
+	if f.Del {
+		st := r.st.Delete(p, f.Key)
+		applied = st == protocol.StatusDeleted || st == protocol.StatusNotFound
+	} else {
+		applied = r.st.Set(p, f.Key, f.ValueSize, f.Value, f.Flags, f.Expire) == protocol.StatusStored
+	}
+	if !applied {
+		// Recovering or allocation failure: stay silent; the coordinator's
+		// resend rounds (or anti-entropy) will retry once we can apply.
+		return
+	}
+	ks.epoch, ks.del, ks.suspect = f.Epoch, f.Del, false
+	r.kick()
+	if ks.pull != nil {
+		// An open suspect pull is satisfied by any confirmed write.
+		ks.pull.Fire()
+		ks.pull = nil
+	}
+	if !f.Repair {
+		r.send(p, f.From, &frame{Kind: frameAck, ID: f.ID, Applied: true, Epoch: f.Epoch, Key: f.Key})
+	}
+}
+
+func (r *Replicator) handleAck(f *frame) {
+	fwd := r.fwds[f.ID]
+	if fwd == nil || !fwd.waiting[f.From] {
+		return // stale or duplicate ack
+	}
+	delete(fwd.waiting, f.From)
+	if !f.Applied && f.Epoch > fwd.epoch && f.Epoch > fwd.conflict {
+		fwd.conflict = f.Epoch
+	}
+	if len(fwd.waiting) == 0 && !fwd.done.Fired() {
+		fwd.done.Fire()
+	}
+}
+
+// handlePull answers a peer's confirmation request: push our confirmed copy
+// (value or tombstone) or admit we do not have one.
+func (r *Replicator) handlePull(p *sim.Proc, f *frame) {
+	ks := r.keys[f.Key]
+	if ks == nil || ks.suspect || ks.epoch == 0 {
+		// Nothing confirmed here — never propagate an unconfirmed value.
+		r.send(p, f.From, &frame{Kind: framePullMiss, Key: f.Key})
+		return
+	}
+	r.pushKey(p, f.From, f.Key, ks)
+}
+
+// pushKey sends our confirmed copy of key to a peer as a repair write.
+// Returns false when the local value turned out to be gone (evicted and
+// dropped), in which case the epoch record is retired too.
+func (r *Replicator) pushKey(p *sim.Proc, pid int, key string, ks *keyState) bool {
+	if ks.del {
+		r.Counters.Add("repair-pushes", 1)
+		r.send(p, pid, &frame{Kind: frameWrite, Repair: true, Key: key, Epoch: ks.epoch, Del: true})
+		return true
+	}
+	value, size, flags, expireAt, ok := r.st.ReadItem(p, key)
+	if !ok {
+		// The slab layer dropped the value (eviction under pressure): stop
+		// claiming the epoch in digests; a peer's copy can repair us later.
+		delete(r.keys, key)
+		r.send(p, pid, &frame{Kind: framePullMiss, Key: key})
+		return false
+	}
+	r.Counters.Add("repair-pushes", 1)
+	r.send(p, pid, &frame{
+		Kind: frameWrite, Repair: true, Key: key, Epoch: ks.epoch,
+		Value: value, ValueSize: size, Flags: flags,
+		Expire: expireSeconds(r.env.Now(), expireAt),
+	})
+	return true
+}
+
+// handlePullMiss records a peer's "don't have it" answer to an open pull;
+// when every peer missed, the local recovered value is dropped — a miss is
+// legal, resurrecting an unconfirmable value is not.
+func (r *Replicator) handlePullMiss(p *sim.Proc, f *frame) {
+	ks := r.keys[f.Key]
+	if ks == nil || ks.pull == nil {
+		return
+	}
+	ks.pullLeft--
+	if ks.pullLeft > 0 {
+		return
+	}
+	if ks.suspect {
+		r.st.Delete(p, f.Key)
+		delete(r.keys, f.Key)
+		r.Counters.Add("suspect-drops", 1)
+	}
+	if !ks.pull.Fired() {
+		ks.pull.Fire()
+	}
+	ks.pull = nil
+}
+
+// handleProbe is the read-repair rendezvous: a replica that served a GET
+// tells us the epoch it served. If we are behind we ask it to push; if we
+// are ahead we push our fresher copy back.
+func (r *Replicator) handleProbe(p *sim.Proc, f *frame) {
+	ks := r.keys[f.Key]
+	var epoch uint64
+	if ks != nil && !ks.suspect {
+		epoch = ks.epoch
+	}
+	switch {
+	case epoch < f.Epoch:
+		r.send(p, f.From, &frame{Kind: framePull, Key: f.Key})
+	case epoch > f.Epoch:
+		r.pushKey(p, f.From, f.Key, ks)
+	}
+}

@@ -1,0 +1,172 @@
+package replication
+
+import (
+	"sort"
+
+	"hybridkv/internal/sim"
+)
+
+// Anti-entropy scrubber: write forwards and read repair fix divergence on
+// keys that clients keep touching; the scrubber fixes everything else. Each
+// scrub round the lower-id member of every replica pair sends the peer a
+// bucketed digest of the epochs it holds for the keys they share; the peer
+// answers with its own entries for every bucket that differs, and the
+// initiator reconciles — pushing keys it holds fresher, pulling keys the
+// peer holds fresher. The digest is Merkle-style in spirit (compare
+// summaries, recurse only into differences) flattened to one level: with
+// simulation-scale key counts a single layer of buckets is already a
+// large traffic reduction over shipping full key lists every round.
+
+// digestEntry folds one key's epoch record into a digest bucket.
+func digestEntry(key string, epoch uint64, del bool) uint64 {
+	e := epoch << 1
+	if del {
+		e |= 1
+	}
+	return Mix64(HashKey(key) ^ Mix64(e))
+}
+
+// sharedWith reports whether key is replicated on both this server and pid.
+func (r *Replicator) sharedWith(pid int, key string) bool {
+	both := 0
+	for _, id := range r.ring.Replicas(key, r.cfg.Factor) {
+		if id == r.cfg.ID || id == pid {
+			both++
+		}
+	}
+	return both == 2
+}
+
+// digestFor computes the bucketed epoch digest over keys shared with pid.
+// Suspect and epoch-0 keys are excluded: they are unconfirmed and must not
+// be claimed. XOR folding makes the digest independent of iteration order,
+// preserving determinism over Go's randomized map iteration.
+func (r *Replicator) digestFor(pid int) []uint64 {
+	buckets := make([]uint64, r.cfg.ScrubBuckets)
+	for key, ks := range r.keys {
+		if ks.suspect || ks.epoch == 0 || !r.sharedWith(pid, key) {
+			continue
+		}
+		b := HashKey(key) % uint64(len(buckets))
+		buckets[b] ^= digestEntry(key, ks.epoch, ks.del)
+	}
+	return buckets
+}
+
+// scrubber exchanges digests with every peer while armed. It is
+// kick-driven: every genuine local epoch advance (a coordinated write, an
+// accepted forward, a repair apply, a cold restart) grants a burst of
+// scrubBurst rounds at ScrubInterval cadence, after which the scrubber
+// parks on an event until the next kick. Receiving a digest or diff does
+// NOT re-arm the receiver — only real state changes do — so a converged
+// cluster stops exchanging digests, schedules no timers, and the
+// simulation drains. Every armed replicator initiates toward all of its
+// peers (not just higher ids): a freshly restarted node must be able to
+// start reconciliation toward lower-id survivors.
+func (r *Replicator) scrubber(p *sim.Proc) {
+	if len(r.peerIDs) == 0 {
+		return
+	}
+	for {
+		for r.scrubLeft == 0 {
+			ev := r.env.NewEvent()
+			r.scrubWake = ev
+			p.Wait(ev)
+			r.scrubWake = nil
+		}
+		p.Sleep(r.cfg.ScrubInterval)
+		r.scrubLeft--
+		if r.isDown() {
+			continue
+		}
+		for _, pid := range r.peerIDs {
+			r.Counters.Add("scrub-rounds", 1)
+			r.send(p, pid, &frame{Kind: frameDigest, Buckets: r.digestFor(pid)})
+		}
+	}
+}
+
+// handleDigest compares a peer's digest with our own view of the shared
+// keys and answers with our entries for every differing bucket.
+func (r *Replicator) handleDigest(p *sim.Proc, f *frame) {
+	mine := r.digestFor(f.From)
+	n := len(mine)
+	if len(f.Buckets) < n {
+		n = len(f.Buckets)
+	}
+	var diff []uint64
+	for b := 0; b < n; b++ {
+		if mine[b] != f.Buckets[b] {
+			diff = append(diff, uint64(b))
+		}
+	}
+	if len(diff) == 0 {
+		return
+	}
+	resp := &frame{Kind: frameDiff, Buckets: diff}
+	for _, key := range r.sortedSharedKeys(f.From) {
+		ks := r.keys[key]
+		b := HashKey(key) % uint64(len(mine))
+		for _, db := range diff {
+			if b == db {
+				resp.Entries = append(resp.Entries, KeyEpoch{Key: key, Epoch: ks.epoch, Del: ks.del})
+				break
+			}
+		}
+	}
+	r.send(p, f.From, resp)
+}
+
+// sortedSharedKeys lists confirmed keys shared with pid in sorted order
+// (map iteration order is random per run; reconciliation emission order
+// must be deterministic).
+func (r *Replicator) sortedSharedKeys(pid int) []string {
+	keys := make([]string, 0, len(r.keys))
+	for key, ks := range r.keys {
+		if ks.suspect || ks.epoch == 0 || !r.sharedWith(pid, key) {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// handleDiff reconciles against the peer's entries for the differing
+// buckets: push what we hold fresher, pull what the peer holds fresher,
+// push what the peer does not hold at all.
+func (r *Replicator) handleDiff(p *sim.Proc, f *frame) {
+	theirs := make(map[string]KeyEpoch, len(f.Entries))
+	for _, e := range f.Entries {
+		theirs[e.Key] = e
+	}
+	inDiff := make(map[uint64]bool, len(f.Buckets))
+	for _, b := range f.Buckets {
+		inDiff[b] = true
+	}
+	// Peer-listed keys: compare epochs.
+	for _, e := range f.Entries {
+		ks := r.keys[e.Key]
+		var epoch uint64
+		if ks != nil && !ks.suspect {
+			epoch = ks.epoch
+		}
+		switch {
+		case epoch < e.Epoch:
+			r.Counters.Add("repair-pulls", 1)
+			r.send(p, f.From, &frame{Kind: framePull, Key: e.Key})
+		case epoch > e.Epoch:
+			r.pushKey(p, f.From, e.Key, ks)
+		}
+	}
+	// Keys we hold in a differing bucket that the peer did not list at all.
+	for _, key := range r.sortedSharedKeys(f.From) {
+		if _, listed := theirs[key]; listed {
+			continue
+		}
+		if !inDiff[HashKey(key)%uint64(r.cfg.ScrubBuckets)] {
+			continue
+		}
+		r.pushKey(p, f.From, key, r.keys[key])
+	}
+}

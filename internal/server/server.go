@@ -27,6 +27,7 @@ import (
 	"hybridkv/internal/hybridslab"
 	"hybridkv/internal/metrics"
 	"hybridkv/internal/protocol"
+	"hybridkv/internal/replication"
 	"hybridkv/internal/sim"
 	"hybridkv/internal/simnet"
 	"hybridkv/internal/store"
@@ -180,8 +181,16 @@ type Server struct {
 	slots *sim.Resource
 	reqQ  *sim.Queue[task]
 
+	// repl, when attached, replaces the plain storage phase with the
+	// replicated one: admitted writes are forwarded to the key's peer
+	// replicas before any ack or response.
+	repl *replication.Replicator
+
 	started bool
 	down    bool
+	// killed is set by Kill (whole-node loss): only a cold restart may
+	// follow, since RAM state is gone.
+	killed bool
 	// recovering is set from a cold restart until the SSD recovery scan
 	// completes; every request in the window is answered StatusRecovering.
 	recovering bool
@@ -234,6 +243,14 @@ type task struct {
 	// gen is the server generation at buffering time; a worker popping a
 	// task from before a crash discards it instead of answering.
 	gen uint64
+	// fwd/fwds are the replication rounds opened at admission time for the
+	// task's write(s); the peer applies overlap the local storage phase.
+	fwd  *replication.Forward
+	fwds []*replication.Forward
+	// ackDeferred marks a requested BufferAck that replication withheld at
+	// admission: the worker sends it only once the write is applied AND
+	// replicated, so an acked write is durable on every replica.
+	ackDeferred bool
 }
 
 // NewRDMA creates an RDMA-transport server on node.
@@ -284,6 +301,41 @@ func (s *Server) Host() *verbs.Host { return s.host }
 
 // RecvDepth returns the per-connection credit count clients must respect.
 func (s *Server) RecvDepth() int { return s.cfg.RecvDepth }
+
+// AttachReplicator installs the server's replicator: the storage phase
+// becomes the replicated one, and requested BufferAcks on writes are
+// withheld until the replication chain completes. Attach before the
+// simulation runs; RDMA servers only.
+func (s *Server) AttachReplicator(r *replication.Replicator) {
+	if s.dev == nil {
+		panic("server: replication requires the RDMA transport")
+	}
+	s.repl = r
+	// A crashed or still-recovering node neither applies nor acks peer
+	// frames; silence (not a negative ack) is what lets coordinators
+	// distinguish "retry later" from "stale epoch".
+	r.SetDown(func() bool { return s.down || s.recovering })
+}
+
+// Replicator returns the attached replicator (nil when unreplicated).
+func (s *Server) Replicator() *replication.Replicator { return s.repl }
+
+// exec runs one buffered request's storage phase, replicated when a
+// replicator is attached.
+func (s *Server) exec(p *sim.Proc, t task) *protocol.Response {
+	if s.repl != nil {
+		return s.repl.Execute(p, t.req, t.fwd)
+	}
+	return s.st.Handle(p, t.req)
+}
+
+// execBatch runs a buffered frame's storage phases back-to-back.
+func (s *Server) execBatch(p *sim.Proc, t task) []*protocol.Response {
+	if s.repl != nil {
+		return s.repl.ExecuteBatch(p, t.batch.Reqs, t.fwds)
+	}
+	return s.st.HandleBatch(p, t.batch.Reqs)
+}
 
 // AcceptQP creates and connects a server-side QP for a client QP, and
 // pre-posts the receive pool. Call before Start or during the run.
@@ -341,7 +393,30 @@ func (s *Server) Crash() {
 
 // Restart brings a crashed server back warm. Requests arriving from now on
 // are served normally against the intact store.
-func (s *Server) Restart() { s.down = false }
+func (s *Server) Restart() {
+	if s.killed {
+		panic("server: warm Restart after Kill — RAM is gone, use RestartCold")
+	}
+	s.down = false
+}
+
+// Kill models whole-node loss, the failure mode replication exists for:
+// the process crashes and everything RAM-resident dies with it — the item
+// table, pending buffers, open replication forwards, and the epoch records
+// proving which recovered values are fresh. With wipeSSD the durable
+// extents are discarded too (replacement hardware): a later RestartCold
+// then recovers nothing and the node returns empty, to be refilled by
+// anti-entropy. Only RestartCold may follow a Kill.
+func (s *Server) Kill(wipeSSD bool) {
+	s.Crash()
+	s.killed = true
+	if s.repl != nil {
+		s.repl.Wipe()
+	}
+	if wipeSSD {
+		s.st.Manager().WipeSSD()
+	}
+}
 
 // RestartCold brings a crashed server back after a power cycle: RAM state is
 // gone and the store must be rebuilt from the SSD. The recovery scan runs as
@@ -350,6 +425,7 @@ func (s *Server) Restart() { s.down = false }
 // over) instead of queueing behind the scan.
 func (s *Server) RestartCold() {
 	s.down = false
+	s.killed = false
 	s.recovering = true
 	s.env.Spawn(s.cfg.Name+"/recovery", func(p *sim.Proc) {
 		t0 := p.Now()
@@ -364,6 +440,12 @@ func (s *Server) RestartCold() {
 		s.Recovery.Add("pages-uncommitted", rep.PagesUncommitted)
 		s.Recovery.Add("items-recovered", rep.ItemsRecovered)
 		s.Recovery.Add("items-missing", rep.ItemsMissing)
+		if s.repl != nil {
+			// The SSD resurrected values, but the epoch table proving their
+			// freshness died with the node: every recovered key is suspect
+			// until a peer replica confirms it.
+			s.repl.OnColdRecovery(s.st.Keys())
+		}
 		s.recovering = false
 	})
 }
@@ -428,7 +510,12 @@ func (s *Server) dispatchOne(p *sim.Proc, conn *rdmaConn, req *protocol.Request)
 		// Storage phase inline; the receive slot is held until the
 		// request finishes (the client's credit comes back with the
 		// response).
-		resp := s.st.Handle(p, req)
+		var resp *protocol.Response
+		if s.repl != nil {
+			resp = s.repl.Execute(p, req, s.repl.Begin(p, req))
+		} else {
+			resp = s.st.Handle(p, req)
+		}
 		if s.down || s.gen != gen0 {
 			// Crashed mid-storage-phase (e.g. during a hybrid eviction):
 			// the response is lost with the process, even if the server
@@ -461,10 +548,18 @@ func (s *Server) dispatchOne(p *sim.Proc, conn *rdmaConn, req *protocol.Request)
 		s.BufferPeak = u
 	}
 	conn.qp.PostRecv(verbs.RecvWR{})
-	if req.AckWanted {
+	t := task{req: req, conn: conn, gen: gen0}
+	if s.repl != nil {
+		// Open the replication round now so peer applies overlap the local
+		// slab phase; the early ack for writes moves past the ack wait so
+		// "acked" keeps meaning "durable" — now on every replica.
+		t.fwd = s.repl.Begin(p, req)
+		t.ackDeferred = req.AckWanted && isWrite(req.Op)
+	}
+	if req.AckWanted && !t.ackDeferred {
 		s.sendAck(p, conn, req)
 	}
-	s.reqQ.Put(p, task{req: req, conn: conn, gen: gen0})
+	s.reqQ.Put(p, t)
 	if n := s.reqQ.Len(); n > s.QueuePeak {
 		s.QueuePeak = n
 	}
@@ -538,7 +633,12 @@ func (s *Server) dispatchBatch(p *sim.Proc, conn *rdmaConn, frame *protocol.Batc
 	}
 	gen0 := s.gen
 	if s.cfg.Pipeline == Sync {
-		resps := s.st.HandleBatch(p, frame.Reqs)
+		var resps []*protocol.Response
+		if s.repl != nil {
+			resps = s.repl.ExecuteBatch(p, frame.Reqs, s.beginAll(p, frame.Reqs))
+		} else {
+			resps = s.st.HandleBatch(p, frame.Reqs)
+		}
 		if s.down || s.gen != gen0 {
 			s.Discarded += int64(n)
 			conn.qp.PostRecv(verbs.RecvWR{})
@@ -578,13 +678,35 @@ func (s *Server) dispatchBatch(p *sim.Proc, conn *rdmaConn, frame *protocol.Batc
 		s.BufferPeak = u
 	}
 	conn.qp.PostRecv(verbs.RecvWR{})
-	if frame.AckWanted {
+	t := task{batch: frame, conn: conn, gen: gen0}
+	if s.repl != nil {
+		t.fwds = s.beginAll(p, frame.Reqs)
+		for _, req := range frame.Reqs {
+			if isWrite(req.Op) {
+				// The batch-wide ack covers every member, so it moves past
+				// the whole batch's replication rounds if any member writes.
+				t.ackDeferred = frame.AckWanted
+				break
+			}
+		}
+	}
+	if frame.AckWanted && !t.ackDeferred {
 		s.sendBatchAck(p, conn, frame)
 	}
-	s.reqQ.Put(p, task{batch: frame, conn: conn, gen: gen0})
+	s.reqQ.Put(p, t)
 	if n := s.reqQ.Len(); n > s.QueuePeak {
 		s.QueuePeak = n
 	}
+}
+
+// beginAll opens the replication rounds for a batch's members back-to-back
+// so all their forwards are in flight before any storage phase starts.
+func (s *Server) beginAll(p *sim.Proc, reqs []*protocol.Request) []*replication.Forward {
+	fwds := make([]*replication.Forward, len(reqs))
+	for i, req := range reqs {
+		fwds[i] = s.repl.Begin(p, req)
+	}
+	return fwds
 }
 
 // storageWorker executes buffered requests and responds.
@@ -605,12 +727,17 @@ func (s *Server) storageWorker(p *sim.Proc) {
 			s.slots.ReleaseN(t.req.WireSize())
 			continue
 		}
-		resp := s.st.Handle(p, t.req)
+		resp := s.exec(p, t)
 		if s.down || t.gen != s.gen {
 			// Crashed mid-storage-phase: drop the finished work.
 			s.Discarded++
 			s.slots.ReleaseN(t.req.WireSize())
 			continue
+		}
+		if t.ackDeferred && resp.Status != protocol.StatusNoReplica {
+			// The write is applied and every replica acked: only now is the
+			// early ack honest.
+			s.sendAck(p, t.conn, t.req)
 		}
 		s.respond(p, t.conn, t.req, resp)
 		s.slots.ReleaseN(t.req.WireSize())
@@ -628,12 +755,17 @@ func (s *Server) workBatch(p *sim.Proc, t task) {
 		s.slots.ReleaseN(size)
 		return
 	}
-	resps := s.st.HandleBatch(p, t.batch.Reqs)
+	resps := s.execBatch(p, t)
 	if s.down || t.gen != s.gen {
 		// Crashed mid-storage-phase: drop the finished work.
 		s.Discarded += n
 		s.slots.ReleaseN(size)
 		return
+	}
+	if t.ackDeferred {
+		// Every member's replication round has completed (member failures
+		// carry their own NoReplica status); the batch-wide ack is honest.
+		s.sendBatchAck(p, t.conn, t.batch)
 	}
 	for i, resp := range resps {
 		s.respond(p, t.conn, t.batch.Reqs[i], resp)

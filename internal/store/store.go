@@ -8,6 +8,7 @@ package store
 
 import (
 	"errors"
+	"sort"
 
 	"hybridkv/internal/hybridslab"
 	"hybridkv/internal/metrics"
@@ -95,6 +96,39 @@ func (s *Store) Stats() Stats {
 
 // Len returns the number of live keys.
 func (s *Store) Len() int { return len(s.table) }
+
+// Keys returns the live key set in sorted order. Replication uses it to
+// mark recovered keys suspect after a cold restart; sorting keeps the
+// simulation deterministic (map iteration order is random per run).
+func (s *Store) Keys() []string {
+	keys := make([]string, 0, len(s.table))
+	for key := range s.table {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ReadItem fetches key's current value and metadata without touching
+// statistics, expiry, or LRU state. The replication repair path uses it to
+// build push frames for values that may reside on SSD, and the bench
+// verification oracle uses it to audit post-run state; neither should
+// perturb cache behavior. Returns ok=false on a miss or when the value is
+// unreadable (dropped by eviction, or the store is recovering).
+func (s *Store) ReadItem(p *sim.Proc, key string) (value any, size int, flags uint32, expireAt sim.Time, ok bool) {
+	it := s.table[key]
+	if it == nil {
+		return nil, 0, 0, 0, false
+	}
+	if it.ExpireAt != 0 && s.env.Now() >= it.ExpireAt {
+		return nil, 0, 0, 0, false
+	}
+	v, err := s.mgr.Load(p, it)
+	if err != nil {
+		return nil, 0, 0, 0, false
+	}
+	return v, it.ValueSize, it.Flags, it.ExpireAt, true
+}
 
 // RecoverCold rebuilds the store from the SSD after a cold restart: the hash
 // table is rebuilt from scratch out of the manager's recovery scan, and the
