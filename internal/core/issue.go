@@ -408,6 +408,10 @@ func (c *Client) failoverNext(cur *conn, key string) *conn {
 		}
 		c.Faults.Add("failover-skips", 1)
 	}
+	if len(cand) == 0 {
+		// Single-connection client: there is nowhere else to go.
+		return cur
+	}
 	return cand[0]
 }
 

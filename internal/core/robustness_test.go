@@ -315,6 +315,38 @@ func TestHedgedGetBeatsDeadServer(t *testing.T) {
 	}
 }
 
+// TestHedgedGetSingleServerNoPanic: on a single-connection client there is
+// no distinct replica to hedge onto, so the hedge timer must degrade to a
+// no-op — no panic in failoverNext, no hedges counted — and the request
+// simply runs to its deadline.
+func TestHedgedGetSingleServerNoPanic(t *testing.T) {
+	r := newTestRig(rigOpts{transport: RDMA, pipeline: server.Async})
+	c := r.client
+	var req *Req
+	r.env.Spawn("bench", func(p *sim.Proc) {
+		r.servers[0].Crash() // silence the only server so the hedge timer fires
+		var err error
+		req, err = c.Issue(p, Op{Code: protocol.OpGet, Key: "solo"},
+			WithDeadline(500*sim.Microsecond), WithHedge(20*sim.Microsecond))
+		if err != nil {
+			t.Errorf("issue: %v", err)
+			return
+		}
+		c.Wait(p, req)
+	})
+	r.env.Run()
+
+	if req == nil {
+		t.Fatal("request never issued")
+	}
+	if !errors.Is(req.Err(), ErrDeadlineExceeded) {
+		t.Errorf("err = %v, want ErrDeadlineExceeded (nowhere to hedge)", req.Err())
+	}
+	if n := c.Faults.Get("hedges"); n != 0 {
+		t.Errorf("hedges counter = %d, want 0 on a single-server client", n)
+	}
+}
+
 // TestServerAdmissionClassesAndAckedDrain: with the buffer past the SET
 // watermark but under the GET watermark, new SETs shed while GETs are still
 // admitted — and every SET the server acked before the squeeze completes.

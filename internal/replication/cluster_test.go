@@ -184,6 +184,54 @@ func TestWipedNodeReconvergesViaScrub(t *testing.T) {
 	}
 }
 
+// An RMW that follows a DELETE must clear the coordinator's tombstone
+// record along with advancing the epoch: otherwise the coordinator
+// "repairs" a cold-restarted replica with a tombstone at the RMW's epoch,
+// the live value is deleted there, and the acked RMW write would die with
+// the coordinator — the exact durability promise R=2 makes.
+func TestRMWAfterDeleteSurvivesReplicaRestart(t *testing.T) {
+	cl := itCluster()
+	c := cl.Clients[0]
+	ring := itRing(3)
+	key := "rmw:after:del"
+	backup := ring.Replicas(key, 2)[1]
+
+	cl.Env.Spawn("it-rmw", func(p *sim.Proc) {
+		if st := c.Set(p, key, itValue, uint64(1), 0, 0); st != protocol.StatusStored {
+			t.Errorf("set: %v", st)
+			return
+		}
+		if st := c.Delete(p, key); st != protocol.StatusDeleted {
+			t.Errorf("delete: %v", st)
+			return
+		}
+		if st := c.Add(p, key, itValue, uint64(2), 0, 0); st != protocol.StatusStored {
+			t.Errorf("add after delete: %v", st)
+			return
+		}
+		s := cl.Servers[backup]
+		s.Kill(false)
+		p.Sleep(300 * sim.Microsecond)
+		s.RestartCold()
+		for s.Recovering() {
+			p.Sleep(100 * sim.Microsecond)
+		}
+		p.Sleep(30 * sim.Millisecond)
+		v, _, _, _, ok := s.Store().ReadItem(p, key)
+		if !ok {
+			t.Error("restarted backup lost the post-RMW value: repaired with a stale tombstone")
+		} else if seq, _ := v.(uint64); seq != 2 {
+			t.Errorf("restarted backup holds seq %d, want 2", seq)
+		}
+		if v2, _, status := c.Get(p, key); status != protocol.StatusOK {
+			t.Errorf("get after restart: %v", status)
+		} else if seq, _ := v2.(uint64); seq != 2 {
+			t.Errorf("get observed seq %d, want 2", seq)
+		}
+	})
+	cl.Env.Run()
+}
+
 // Whole-node kill with the SSD intact: recovery resurrects the values but
 // marks them suspect; the scrubber confirms them against the peers. After
 // the settle every suspect is resolved — served values match the freshest

@@ -60,7 +60,8 @@ type Config struct {
 	// plus R−1 backups.
 	Factor int
 	// ReadRepairEvery probes the peer replicas for epoch divergence on
-	// every Nth served GET hit (0 disables read repair).
+	// every Nth served GET hit. Zero selects the default (8); a negative
+	// value disables read repair.
 	ReadRepairEvery int
 	// ScrubInterval is the anti-entropy digest exchange period.
 	ScrubInterval sim.Time
@@ -115,7 +116,7 @@ type keyState struct {
 
 	// Open synchronous pull, shared by concurrent readers of the key.
 	pull     *sim.Event
-	pullLeft int // peers yet to answer; data or all-miss fires the event
+	pullFrom map[int]bool // peers yet to answer; data or all-miss fires the event
 }
 
 // Forward is one write's replication round, opened at admission time so the
@@ -608,7 +609,10 @@ func (r *Replicator) executeRMW(p *sim.Proc, req *protocol.Request) *protocol.Re
 	}
 	fwd := r.begin(p, req.Key, false, value, size, flags, expireSeconds(r.env.Now(), expireAt))
 	if !fwd.proxy {
-		r.state(req.Key).epoch = fwd.epoch // local copy was applied by Handle
+		// The local copy was applied by Handle; record it like a SET so a
+		// prior tombstone or suspicion on the key cannot outlive it.
+		ks := r.state(req.Key)
+		ks.epoch, ks.del, ks.suspect = fwd.epoch, false, false
 		r.kick()
 	}
 	if !r.await(p, fwd) {
@@ -649,8 +653,9 @@ func (r *Replicator) syncPull(p *sim.Proc, key string, ks *keyState, peers []int
 	}
 	if ks.pull == nil {
 		ks.pull = r.env.NewEvent()
-		ks.pullLeft = len(peers)
+		ks.pullFrom = make(map[int]bool, len(peers))
 		for _, pid := range peers {
+			ks.pullFrom[pid] = true
 			r.send(p, pid, &frame{Kind: framePull, Key: key})
 		}
 		r.Counters.Add("repair-pulls", 1)
@@ -661,7 +666,7 @@ func (r *Replicator) syncPull(p *sim.Proc, key string, ks *keyState, peers []int
 		// Abandon this round so the next reader restarts the pull (the
 		// frames may have been lost to a partition).
 		if ks.pull == ev {
-			ks.pull = nil
+			ks.pull, ks.pullFrom = nil, nil
 		}
 		return false
 	}
@@ -684,7 +689,7 @@ func (r *Replicator) OnColdRecovery(keys []string) {
 	for _, key := range keys {
 		ks := r.state(key)
 		ks.epoch, ks.del, ks.suspect = 0, false, true
-		ks.pull, ks.pullLeft = nil, 0
+		ks.pull, ks.pullFrom = nil, nil
 	}
 	// Arm the scrubber even when nothing was recovered (wiped SSD): the
 	// digest exchange is how this node learns what the survivors hold.
@@ -762,7 +767,7 @@ func (r *Replicator) handleWrite(p *sim.Proc, f *frame) {
 	if ks.pull != nil {
 		// An open suspect pull is satisfied by any confirmed write.
 		ks.pull.Fire()
-		ks.pull = nil
+		ks.pull, ks.pullFrom = nil, nil
 	}
 	if !f.Repair {
 		r.send(p, f.From, &frame{Kind: frameAck, ID: f.ID, Applied: true, Epoch: f.Epoch, Key: f.Key})
@@ -826,11 +831,14 @@ func (r *Replicator) pushKey(p *sim.Proc, pid int, key string, ks *keyState) boo
 // legal, resurrecting an unconfirmable value is not.
 func (r *Replicator) handlePullMiss(p *sim.Proc, f *frame) {
 	ks := r.keys[f.Key]
-	if ks == nil || ks.pull == nil {
+	if ks == nil || ks.pull == nil || !ks.pullFrom[f.From] {
+		// No open pull, or this peer already answered: the fault injector
+		// duplicates frames, and one peer missing twice must not count as
+		// two peers missing.
 		return
 	}
-	ks.pullLeft--
-	if ks.pullLeft > 0 {
+	delete(ks.pullFrom, f.From)
+	if len(ks.pullFrom) > 0 {
 		return
 	}
 	if ks.suspect {
@@ -841,7 +849,7 @@ func (r *Replicator) handlePullMiss(p *sim.Proc, f *frame) {
 	if !ks.pull.Fired() {
 		ks.pull.Fire()
 	}
-	ks.pull = nil
+	ks.pull, ks.pullFrom = nil, nil
 }
 
 // handleProbe is the read-repair rendezvous: a replica that served a GET

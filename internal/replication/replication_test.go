@@ -1,6 +1,11 @@
 package replication
 
-import "testing"
+import (
+	"testing"
+
+	"hybridkv/internal/metrics"
+	"hybridkv/internal/sim"
+)
 
 // Replica sets must be stable, the right size, duplicate-free, and led by
 // the ring's primary: the client's replica-aware routing and the server's
@@ -72,6 +77,31 @@ func TestNextEpochOrdering(t *testing.T) {
 			t.Fatalf("epoch chain stalled: %x then %x", cur, next)
 		}
 		cur = next
+	}
+}
+
+// A duplicated framePullMiss (the fault injector duplicates frames) must
+// not count as two peers missing — that would conclude "all peers missed"
+// and drop a suspect key another peer actually holds. One peer's answer is
+// consumed once, and answers from peers that were never asked are ignored.
+func TestPullMissDeduplicatesByPeer(t *testing.T) {
+	env := sim.NewEnv()
+	r := &Replicator{env: env, keys: make(map[string]*keyState), Counters: metrics.NewCounters()}
+	ks := &keyState{suspect: true, pull: env.NewEvent(), pullFrom: map[int]bool{1: true, 2: true}}
+	r.keys["k"] = ks
+
+	r.handlePullMiss(nil, &frame{Kind: framePullMiss, Key: "k", From: 1})
+	r.handlePullMiss(nil, &frame{Kind: framePullMiss, Key: "k", From: 1}) // injector duplicate
+	r.handlePullMiss(nil, &frame{Kind: framePullMiss, Key: "k", From: 9}) // never asked
+
+	if ks.pull == nil || ks.pull.Fired() {
+		t.Fatal("pull concluded after one peer's duplicated miss; peer 2 never answered")
+	}
+	if len(ks.pullFrom) != 1 || !ks.pullFrom[2] {
+		t.Errorf("outstanding peer set = %v, want just peer 2", ks.pullFrom)
+	}
+	if n := r.Counters.Get("suspect-drops"); n != 0 {
+		t.Errorf("suspect-drops = %d, want 0 while a peer is outstanding", n)
 	}
 }
 
