@@ -15,24 +15,26 @@ race:
 	$(GO) test -race ./...
 
 # The concurrency-heavy robustness packages under the race detector at
-# -count=2: the client guard/hedge/cancel races, the replication
-# forward/ack/scrub engine, and the history checker. A named subset of
-# `race`, kept separate so a detector hit points straight at the
-# robustness suite (and so it stays cheap enough to run on every edit).
+# -count=2: the client guard/hedge/cancel races, the bypass READ-vs-
+# eviction-vs-crash soak in cluster, the replication forward/ack/scrub
+# engine, and the history checker. A named subset of `race`, kept
+# separate so a detector hit points straight at the robustness suite
+# (and so it stays cheap enough to run on every edit).
 race-robustness:
-	$(GO) test -race -count=2 ./internal/core ./internal/replication ./internal/history
+	$(GO) test -race -count=2 ./internal/core ./internal/cluster ./internal/replication ./internal/history
 
 # Run every registered experiment end to end at a tiny operation count.
 smoke:
 	$(GO) run ./cmd/mc-bench -smoke
 
 # The robustness gate: fault-injection, cold-restart recovery, bounded
-# admission under overload, the chaos-soak invariant checker, and the
-# replication durability sweep, all at smoke scale. Also covered by the
-# full `smoke` run; kept as an explicit target so failures name the
-# robustness suite directly.
+# admission under overload, the chaos-soak invariant checker, the
+# replication durability sweep, and the server-bypass read-path
+# comparison, all at smoke scale. Also covered by the full `smoke` run;
+# kept as an explicit target so failures name the robustness suite
+# directly.
 robustness:
-	$(GO) run ./cmd/mc-bench -smoke faults recovery overload chaos replication
+	$(GO) run ./cmd/mc-bench -smoke faults recovery overload chaos replication bypass
 
 # The pre-merge gate: static analysis, the full suite under the race
 # detector (plus the robustness packages at -count=2), the robustness

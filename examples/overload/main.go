@@ -132,9 +132,10 @@ func drive(protected bool) result {
 			res.queuePeak = s.QueuePeak
 		}
 	}
-	res.busy = c.Faults.Get("busy")
-	res.retries = c.Faults.Get("retries")
-	res.reroutes = c.Faults.Get("breaker-reroutes")
+	st := c.Stats()
+	res.busy = st.Busy
+	res.retries = st.Retries
+	res.reroutes = st.BreakerReroutes
 	return res
 }
 

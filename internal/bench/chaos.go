@@ -360,14 +360,15 @@ func runChaosR(d cluster.Design, rounds int, seed int64, replicas int, kills boo
 		}
 	}
 
+	cs, fs := c.Stats(), fc.Stats()
 	rep := &chaosReport{
 		Log:         log,
 		Violations:  log.Check(),
 		Elapsed:     last - start,
-		Busy:        c.Faults.Get("busy") + fc.Faults.Get("busy"),
-		Retries:     c.Faults.Get("retries") + fc.Faults.Get("retries"),
-		BreakerOpen: fc.Faults.Get("breaker-open"),
-		Hedges:      c.Faults.Get("hedges"),
+		Busy:        cs.Busy + fs.Busy,
+		Retries:     cs.Retries + fs.Retries,
+		BreakerOpen: fs.BreakerOpen,
+		Hedges:      cs.Hedges,
 		InjDrops:    inj.Drops,
 		InjSpikes:   inj.Spikes,
 		Repl:        cl.ReplicationCounters(),

@@ -114,7 +114,7 @@ func runRecovery(d cluster.Design, pat workload.Pattern, ops int, crashAt sim.Ti
 	}
 
 	run := &RecoveryRun{Ops: int64(ops)}
-	nudges0 := c.Faults.Get("recovering")
+	nudges0 := c.Stats().Recovering
 	start := cl.Env.Now()
 	if crashAt > 0 {
 		cl.Env.At(start+crashAt, "cold-crash", func(p *sim.Proc) {
@@ -173,7 +173,7 @@ func runRecovery(d cluster.Design, pat workload.Pattern, ops int, crashAt sim.Ti
 	})
 	cl.Env.Run()
 	run.Rejected = srv.Rejected
-	run.Nudges = c.Faults.Get("recovering") - nudges0
+	run.Nudges = c.Stats().Recovering - nudges0
 	run.Report = srv.LastRecovery
 	run.RecoveryTime = srv.RecoveryTime
 	return run

@@ -34,6 +34,7 @@ var Registry = []Experiment{
 	{"overload", "Graceful degradation: bounded admission and shedding under bursty arrivals", overloadExp},
 	{"chaos", "Chaos soak: faults + crashes + overload under the history invariant checker", chaosExp},
 	{"replication", "Primary-backup replication: acked-write durability under whole-node kills", replicationExp},
+	{"bypass", "Server-bypass GETs: one-sided READ vs RPC read path", bypassExp},
 }
 
 // ByID finds an experiment, or nil.

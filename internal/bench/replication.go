@@ -249,8 +249,8 @@ func replicationExp(o Options) *Result {
 			res.metric(name+".epoch_conflicts", float64(run.Repl.Get("epoch-conflicts")))
 			res.metric(name+".stale_reads_prevented", float64(run.Repl.Get("stale-reads-prevented")))
 			res.metric(name+".scrub_rounds", float64(run.Repl.Get("scrub-rounds")))
-			res.metric(name+".failovers", float64(run.Faults.Get("failovers")))
-			res.metric(name+".failover_skips", float64(run.Faults.Get("failover-skips")))
+			res.metric(name+".failovers", float64(run.Faults.Val(metrics.CFailovers)))
+			res.metric(name+".failover_skips", float64(run.Faults.Val(metrics.CFailoverSkip)))
 		}
 	}
 	res.Output = res.addTable(res.Title, goodput, p99, lost, repair) + res.renderMetrics()

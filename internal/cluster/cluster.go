@@ -155,6 +155,13 @@ type Config struct {
 	// even attached, so runs are virtual-time-identical to pre-replication
 	// builds). Requires an RDMA design; clamped to the server count.
 	ReplicationFactor int
+	// Bypass attaches a published read directory to every server and
+	// enables the clients' server-bypass GET path (one-sided RDMA READs;
+	// see core.WithReadPath). Requires an RDMA design. False leaves every
+	// deployment virtual-time-identical to pre-bypass builds.
+	Bypass bool
+	// BypassBuckets overrides the directory bucket count (0 = 32768).
+	BypassBuckets int
 }
 
 // Cluster is one assembled deployment.
@@ -171,6 +178,9 @@ type Cluster struct {
 	// Replicators holds one replication engine per server when
 	// ReplicationFactor > 1 (nil otherwise).
 	Replicators []*replication.Replicator
+	// Directories holds one published read directory per server when
+	// Config.Bypass is set (nil otherwise).
+	Directories []*store.Directory
 }
 
 // New builds and starts a deployment.
@@ -259,10 +269,20 @@ func New(cfg Config) *Cluster {
 		for i, srv := range cl.Servers {
 			repl := replication.New(env, replication.Config{ID: i, Factor: repFactor},
 				ring, srv.Store(), srv.Device())
-			srv.AttachReplicator(repl)
+			srv.Attach(server.Extensions{Replicator: repl})
 			cl.Replicators = append(cl.Replicators, repl)
 		}
 		replication.Interconnect(cl.Replicators)
+	}
+	if cfg.Bypass {
+		if cfg.Design.Transport() != core.RDMA {
+			panic("cluster: Bypass requires an RDMA design")
+		}
+		for _, srv := range cl.Servers {
+			d := store.NewDirectory(srv.Device().AllocPD(), cfg.BypassBuckets)
+			srv.Attach(server.Extensions{BypassDirectory: d})
+			cl.Directories = append(cl.Directories, d)
+		}
 	}
 	for i := 0; i < cfg.Clients; i++ {
 		node := fab.AddNode(fmt.Sprintf("client%d", i))
@@ -271,6 +291,7 @@ func New(cfg Config) *Cluster {
 		if repFactor > 1 {
 			ccfg.Replicas = repFactor
 		}
+		ccfg.Bypass = cfg.Bypass
 		c := core.New(env, node, ccfg)
 		for _, srv := range cl.Servers {
 			if cfg.Design.Transport() == core.RDMA {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hybridkv/internal/metrics"
 	"hybridkv/internal/sim"
 )
 
@@ -10,8 +11,8 @@ import (
 // feeding it more load. After a cooldown the breaker half-opens and admits
 // a single probe request; a real response re-closes it, another failure
 // re-opens it. State transitions are counted in Client.Faults
-// ("breaker-open", "breaker-halfopen", "breaker-close") and reroutes in
-// "breaker-reroutes".
+// (metrics.CBreakerOpen, CBreakerHalfOpen, CBreakerClose) and reroutes in
+// CBreakerReroutes.
 
 // BreakerConfig configures the per-connection circuit breaker. The zero
 // value disables it entirely: no breaker is attached and routing is
@@ -61,7 +62,7 @@ func (b *breaker) allow() bool {
 		}
 		b.state = bkHalfOpen
 		b.probing = true
-		b.c.Faults.Add("breaker-halfopen", 1)
+		b.c.Faults.Inc(metrics.CBreakerHalfOpen)
 		return true
 	default: // half-open: exactly one probe at a time
 		if b.probing {
@@ -76,7 +77,7 @@ func (b *breaker) allow() bool {
 // half-open probe (or lingering failure streak) resets to closed.
 func (b *breaker) onSuccess() {
 	if b.state != bkClosed {
-		b.c.Faults.Add("breaker-close", 1)
+		b.c.Faults.Inc(metrics.CBreakerClose)
 	}
 	b.state = bkClosed
 	b.fails = 0
@@ -103,7 +104,7 @@ func (b *breaker) trip() {
 	b.openedAt = b.c.env.Now()
 	b.fails = 0
 	b.probing = false
-	b.c.Faults.Add("breaker-open", 1)
+	b.c.Faults.Inc(metrics.CBreakerOpen)
 }
 
 // noteSuccess / noteFailure feed the connection's breaker, if one is

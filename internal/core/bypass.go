@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+
+	"hybridkv/internal/metrics"
+	"hybridkv/internal/protocol"
+	"hybridkv/internal/sim"
+	"hybridkv/internal/verbs"
+)
+
+// This file is the client half of the server-bypass GET path: GET hits are
+// resolved with one-sided RDMA READs against the server's published
+// directory (see internal/store/directory.go) and never touch the server
+// CPU. The resolution protocol:
+//
+//	bootstrap — one OpDirQuery RPC per connection learns the directory
+//	            geometry (single-flight, cached for the connection's life).
+//	fast path — a key resolved before has a cached value-segment location;
+//	            one READ fetches the snapshot, validated by its embedded
+//	            digest. Value offsets are never reused, so a live matching
+//	            segment at the cached offset IS the key's current value.
+//	probe     — otherwise two READs: the key's directory slot, then the
+//	            value segment it names, validated digest+version.
+//
+// Any validation failure — empty or mismatched slot, odd (mid-mutation)
+// version, SSD-resident flag, version skew between slot and segment,
+// expiry — falls back to the ordinary RPC GET, so a racing SET, eviction,
+// or crash can never produce a torn or stale-after-ack value: it produces
+// a fallback. Bypass READs consume no flow-control credits (they are not
+// requests the server must buffer), and their completions arrive on the
+// connection's otherwise-idle send CQ, drained by a dedicated demux engine.
+
+// ReadPath selects how a GET is resolved; see WithReadPath.
+type ReadPath int
+
+const (
+	// ReadAuto resolves via bypass when the client has it enabled
+	// (Config.Bypass) and the connection's server publishes a directory;
+	// otherwise plain RPC. The default.
+	ReadAuto ReadPath = iota
+	// ReadBypass insists on attempting bypass resolution first, re-probing
+	// the directory bootstrap even after a server reported none. Validation
+	// failures still fall back to RPC — correctness is never negotiable.
+	ReadBypass
+	// ReadRPC forces the ordinary request/response path.
+	ReadRPC
+)
+
+func (rp ReadPath) String() string {
+	switch rp {
+	case ReadBypass:
+		return "bypass"
+	case ReadRPC:
+		return "rpc"
+	}
+	return "auto"
+}
+
+// WithReadPath selects the read path for one GET (see ReadPath). Non-GET
+// opcodes ignore it: only reads have a one-sided resolution.
+func WithReadPath(rp ReadPath) IssueOption {
+	return func(o *issueOpts) { o.readPath = rp }
+}
+
+// Bootstrap / READ-completion budgets. Generous: they only bound how long a
+// resolver can be wedged by a dead fabric before falling back to RPC (whose
+// own guard machinery handles the dead server).
+const (
+	dirQueryTimeout   = 200 * sim.Microsecond
+	bypassReadTimeout = 100 * sim.Microsecond
+)
+
+// Directory bootstrap states, per connection.
+const (
+	dirUnknown = iota // never asked, or last ask failed retryably
+	dirReady          // geometry cached in conn.dir
+	dirNone           // server answered "no directory attached"
+)
+
+// locEntry caches one key's value-segment location for the single-READ fast
+// path.
+type locEntry struct {
+	off int64
+	n   int
+}
+
+// readWait parks one resolver until its READ completion is demuxed.
+type readWait struct {
+	ev   *sim.Event
+	comp verbs.Completion
+}
+
+// bypassEligible reports whether this Issue should resolve via bypass.
+func (c *Client) bypassEligible(op Op, o *issueOpts) bool {
+	if op.Code != protocol.OpGet || c.cfg.Transport != RDMA || !c.cfg.Bypass {
+		return false
+	}
+	return o.readPath != ReadRPC
+}
+
+// spawnBypass runs the resolution as its own process so Issue keeps
+// iset/iget semantics (return once the operation is in flight).
+func (c *Client) spawnBypass(req *Req, o issueOpts) {
+	force := o.readPath == ReadBypass
+	c.env.Spawn(fmt.Sprintf("client/bypass%d", req.ID), func(p *sim.Proc) {
+		if !c.resolveBypass(p, req, force) {
+			c.bypassFallback(p, req)
+		}
+	})
+}
+
+// resolveBypass attempts one-sided resolution; true means the request needs
+// no fallback (completed via bypass, or already completed by racing
+// guard/cancel machinery).
+func (c *Client) resolveBypass(p *sim.Proc, req *Req, force bool) bool {
+	cn := req.conn
+	if cn.dir == nil && !c.bootstrapDir(p, cn, force) {
+		return req.done.Fired()
+	}
+	if req.done.Fired() {
+		return true
+	}
+	digest := protocol.KeyDigest(req.Key)
+
+	// Fast path: single READ of the cached segment location.
+	if loc, ok := cn.locs[req.Key]; ok {
+		comp, ok := cn.postRead(p, cn.dir.ValMR, loc.off, loc.n)
+		if req.done.Fired() {
+			return true
+		}
+		if ok && comp.Bytes > 0 {
+			if seg, isSeg := comp.Payload.(protocol.DirSegment); isSeg &&
+				seg.Digest == digest && seg.Version%2 == 0 &&
+				!segExpired(seg.ExpireAt, c.env.Now()) {
+				c.completeBypass(p, req, &seg, true)
+				return true
+			}
+		}
+		delete(cn.locs, req.Key) // superseded: the cached location is dead
+	}
+
+	// Probe path: slot READ, then the segment it names.
+	b := int64(digest % uint64(cn.dir.Buckets))
+	comp, ok := cn.postRead(p, cn.dir.DirMR, b*protocol.DirSlotBytes, protocol.DirSlotBytes)
+	if req.done.Fired() {
+		return true
+	}
+	if !ok || comp.Bytes == 0 {
+		return false // empty slot, or READ wedged
+	}
+	slot, isSlot := comp.Payload.(protocol.DirSlot)
+	if !isSlot || slot.Digest != digest || slot.Version%2 == 1 || slot.SSD || slot.Off < 0 {
+		// Foreign or colliding key, mutation in progress, or SSD-resident:
+		// all resolve via RPC.
+		return false
+	}
+	comp, ok = cn.postRead(p, cn.dir.ValMR, slot.Off, slot.Len)
+	if req.done.Fired() {
+		return true
+	}
+	if !ok || comp.Bytes == 0 {
+		return false // segment superseded between the two READs
+	}
+	seg, isSeg := comp.Payload.(protocol.DirSegment)
+	if !isSeg || seg.Digest != digest || seg.Version != slot.Version ||
+		segExpired(seg.ExpireAt, c.env.Now()) {
+		return false
+	}
+	cn.locs[req.Key] = locEntry{off: slot.Off, n: slot.Len}
+	c.completeBypass(p, req, &seg, false)
+	return true
+}
+
+func segExpired(expireAt int64, now sim.Time) bool {
+	return expireAt != 0 && now >= sim.Time(expireAt)
+}
+
+// completeBypass lands a validated snapshot in the request.
+func (c *Client) completeBypass(p *sim.Proc, req *Req, seg *protocol.DirSegment, fast bool) {
+	p.Sleep(memcpyTime(seg.ValueSize))
+	if req.done.Fired() {
+		return
+	}
+	req.bypassed = true
+	req.Status = protocol.StatusOK
+	req.Value = seg.Value
+	req.ValueSize = seg.ValueSize
+	req.Flags = seg.Flags
+	req.CAS = seg.CAS
+	req.CompletedAt = p.Now()
+	c.Faults.Inc(metrics.CBypassHits)
+	if fast {
+		c.Faults.Inc(metrics.CBypassFastPath)
+	}
+	req.conn.noteSuccess()
+	req.done.Fire()
+	req.reusable.Fire()
+	c.Completed++
+}
+
+// bypassFallback hands the request to the ordinary RPC path after a failed
+// resolution. The guard/hedge machinery attached at Issue time keeps
+// working unchanged: the RPC attempt registered here is just the request's
+// next attempt.
+func (c *Client) bypassFallback(p *sim.Proc, req *Req) {
+	c.Faults.Inc(metrics.CBypassFallbacks)
+	if req.done.Fired() {
+		return
+	}
+	p.Sleep(c.cfg.PrepCost)
+	if req.done.Fired() {
+		return
+	}
+	cn := req.conn
+	c.nextID++
+	c.enqueueWire(req, cn, c.wireFor(req, cn, c.nextID))
+}
+
+// bootstrapDir learns cn's directory geometry with a single-flight
+// OpDirQuery RPC. force re-asks a server that previously reported no
+// directory (ReadBypass semantics).
+func (c *Client) bootstrapDir(p *sim.Proc, cn *conn, force bool) bool {
+	for cn.dirFetch != nil {
+		// Another resolver's bootstrap is in flight: share its outcome.
+		p.Wait(cn.dirFetch)
+	}
+	switch cn.dirState {
+	case dirReady:
+		return true
+	case dirNone:
+		if !force {
+			return false
+		}
+	}
+	cn.dirFetch = c.env.NewEvent()
+	defer func() {
+		ev := cn.dirFetch
+		cn.dirFetch = nil
+		ev.Fire()
+	}()
+	c.Faults.Inc(metrics.CBypassBootstraps)
+	qreq := c.newReq(protocol.OpDirQuery, "", cn)
+	c.Issued++
+	c.enqueueWire(qreq, cn, c.wireFor(qreq, cn, qreq.ID))
+	if !p.WaitTimeout(qreq.done, dirQueryTimeout) {
+		c.abandon(qreq.cur)
+		return false
+	}
+	if qreq.Status != protocol.StatusOK {
+		if qreq.Status == protocol.StatusNotFound {
+			// Definitive: no directory attached server-side.
+			cn.dirState = dirNone
+		}
+		return false
+	}
+	info, ok := qreq.Value.(*protocol.DirectoryInfo)
+	if !ok {
+		cn.dirState = dirNone
+		return false
+	}
+	cn.dir = info
+	cn.dirState = dirReady
+	return true
+}
+
+// postRead posts one signaled one-sided READ and blocks until its
+// completion arrives via the demux engine. No flow-control credit is
+// consumed: the server never buffers anything for a READ.
+func (cn *conn) postRead(p *sim.Proc, mr int, off int64, n int) (verbs.Completion, bool) {
+	c := cn.c
+	c.nextID++
+	id := c.nextID
+	w := &readWait{ev: c.env.NewEvent()}
+	cn.readWaits[id] = w
+	cn.qp.PostSend(p, verbs.SendWR{
+		WRID: id, Op: verbs.OpRead, Size: n,
+		RemoteMR: mr, RemoteOff: off, Signaled: true,
+	})
+	if !p.WaitTimeout(w.ev, bypassReadTimeout) {
+		delete(cn.readWaits, id)
+		return verbs.Completion{}, false
+	}
+	return w.comp, true
+}
+
+// bypassEngine demultiplexes READ completions from the connection's send
+// CQ (requests are posted unsignaled, so bypass READs are its only
+// traffic) to the resolvers parked on them. Spawned only on bypass-enabled
+// clients.
+func (cn *conn) bypassEngine(p *sim.Proc) {
+	for {
+		comp := cn.sendCQ.WaitPoll(p)
+		w := cn.readWaits[comp.WRID]
+		if w == nil {
+			continue // resolver gave up on this READ
+		}
+		delete(cn.readWaits, comp.WRID)
+		w.comp = comp
+		w.ev.Fire()
+	}
+}

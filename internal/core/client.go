@@ -97,6 +97,13 @@ type Config struct {
 	// inside the set so a rerouted request always lands on a server that
 	// actually holds the key. 0 or 1 leaves routing exactly as before.
 	Replicas int
+	// Bypass enables the server-bypass read path: GETs resolve via
+	// one-sided RDMA READs against the server's published directory (see
+	// WithReadPath and internal/core/bypass.go), falling back to RPC on any
+	// validation failure. RDMA transport only; requires the servers to have
+	// a directory attached (server.Extensions.BypassDirectory). Zero value
+	// = every GET takes the request/response path, exactly as before.
+	Bypass bool
 }
 
 func (c *Config) fill() {
@@ -164,6 +171,7 @@ type Req struct {
 	timedOut bool
 	canceled bool
 	acked    bool // BufferAck received: the server holds the request
+	bypassed bool // completed via one-sided bypass READ, no server CPU
 
 	// Wire template retained for retransmission.
 	txValueSize       int
@@ -185,6 +193,10 @@ func (r *Req) Canceled() bool { return r.canceled }
 // Acked reports whether the server acknowledged buffering the request (a
 // BufferAck arrived, individually or covering the request's whole batch).
 func (r *Req) Acked() bool { return r.acked }
+
+// Bypassed reports whether the GET resolved on the server-bypass path —
+// one-sided READs, zero server CPU — rather than request/response.
+func (r *Req) Bypassed() bool { return r.bypassed }
 
 // Client is the libmemcached handle (memcached_st analog).
 type Client struct {
@@ -208,8 +220,9 @@ type Client struct {
 	// is recorded by the workload driver).
 	Prof *metrics.Breakdown
 
-	// Faults counts recovery activity: "retries", "timeouts", "cancels",
-	// "failovers", and "stale-responses" (late/duplicate answers absorbed).
+	// Faults counts recovery activity under the typed counters in
+	// internal/metrics (metrics.CRetries, CTimeouts, …). Read individual
+	// counters with Faults.Val, or take a whole snapshot with Stats.
 	Faults *metrics.Counters
 
 	// Stats
@@ -218,6 +231,49 @@ type Client struct {
 	// credits consumed; Frames counts coalesced BatchFrames among them and
 	// FrameOps the operations those frames carried.
 	Sends, Frames, FrameOps int64
+}
+
+// ClientStats is a point-in-time snapshot of a client's operation and fault
+// counters, taken with Client.Stats. It replaces reaching into the Faults
+// counter map with string keys.
+type ClientStats struct {
+	// Operation flow.
+	Issued, Completed       int64
+	Sends, Frames, FrameOps int64
+	// Recovery machinery.
+	Retries, Timeouts, Cancels            int64
+	Failovers, FailoverSkips, AckedRetries int64
+	Hedges, HedgesSuppressed              int64
+	StaleResponses                        int64
+	// Server rejections.
+	Busy, Recovering, NoReplica int64
+	// Circuit breakers.
+	BreakerOpen, BreakerHalfOpen, BreakerClose, BreakerReroutes int64
+	// Server-bypass read path.
+	BypassHits, BypassFastPath, BypassFallbacks, BypassBootstraps int64
+}
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() ClientStats {
+	f := c.Faults
+	return ClientStats{
+		Issued: c.Issued, Completed: c.Completed,
+		Sends: c.Sends, Frames: c.Frames, FrameOps: c.FrameOps,
+		Retries:  f.Val(metrics.CRetries),
+		Timeouts: f.Val(metrics.CTimeouts),
+		Cancels:  f.Val(metrics.CCancels),
+		Failovers: f.Val(metrics.CFailovers), FailoverSkips: f.Val(metrics.CFailoverSkip),
+		AckedRetries: f.Val(metrics.CAckedRetries),
+		Hedges:       f.Val(metrics.CHedges), HedgesSuppressed: f.Val(metrics.CHedgesSuppressed),
+		StaleResponses: f.Val(metrics.CStaleResponses),
+		Busy:           f.Val(metrics.CBusy),
+		Recovering:     f.Val(metrics.CRecovering),
+		NoReplica:      f.Val(metrics.CNoReplica),
+		BreakerOpen:    f.Val(metrics.CBreakerOpen), BreakerHalfOpen: f.Val(metrics.CBreakerHalfOpen),
+		BreakerClose: f.Val(metrics.CBreakerClose), BreakerReroutes: f.Val(metrics.CBreakerReroutes),
+		BypassHits: f.Val(metrics.CBypassHits), BypassFastPath: f.Val(metrics.CBypassFastPath),
+		BypassFallbacks: f.Val(metrics.CBypassFallbacks), BypassBootstraps: f.Val(metrics.CBypassBootstraps),
+	}
 }
 
 type conn struct {
@@ -239,6 +295,15 @@ type conn struct {
 	// brk is the per-server circuit breaker (nil when Config.Breaker is
 	// zero: no state, no routing change).
 	brk *breaker
+	// Bypass read-path state (Config.Bypass only; see bypass.go): the
+	// bootstrapped directory geometry, the single-flight bootstrap latch,
+	// resolvers parked on READ completions, and the per-key location cache
+	// behind the single-READ fast path.
+	dir       *protocol.DirectoryInfo
+	dirState  int
+	dirFetch  *sim.Event
+	readWaits map[uint64]*readWait
+	locs      map[string]locEntry
 }
 
 // New creates a client on node. Connections are added with ConnectRDMA or
@@ -309,6 +374,11 @@ func (c *Client) ConnectRDMA(srv RDMAServer) {
 	name := fmt.Sprintf("client/conn%d", cn.serverID)
 	c.env.Spawn(name+"/tx", cn.txEngine)
 	c.env.Spawn(name+"/progress", cn.progressEngine)
+	if c.cfg.Bypass {
+		cn.readWaits = make(map[uint64]*readWait)
+		cn.locs = make(map[string]locEntry)
+		c.env.Spawn(name+"/bypass", cn.bypassEngine)
+	}
 }
 
 // IPoIBServer is the stream-transport hookup surface.
@@ -348,7 +418,7 @@ func (c *Client) pick(key string) *conn {
 		}
 		for _, id := range set[1:] {
 			if alt := c.conns[id]; alt.allows() {
-				c.Faults.Add("breaker-reroutes", 1)
+				c.Faults.Inc(metrics.CBreakerReroutes)
 				return alt
 			}
 		}
@@ -361,7 +431,7 @@ func (c *Client) pick(key string) *conn {
 	for i := 1; i < len(c.conns); i++ {
 		alt := c.conns[(cn.serverID+i)%len(c.conns)]
 		if alt.allows() {
-			c.Faults.Add("breaker-reroutes", 1)
+			c.Faults.Inc(metrics.CBreakerReroutes)
 			return alt
 		}
 	}
@@ -573,14 +643,14 @@ func (c *Client) ipoibExchange(p *sim.Proc, cn *conn, req *Req, wire *protocol.R
 		if timedOut {
 			if req.Attempts <= c.cfg.RecvRetries {
 				req.Attempts++
-				c.Faults.Add("retries", 1)
+				c.Faults.Inc(metrics.CRetries)
 				c.Sends++
 				cn.stream.Send(p, wire.WireSize(), wire)
 				continue
 			}
 			req.timedOut = true
 			req.Status = protocol.StatusError
-			c.Faults.Add("timeouts", 1)
+			c.Faults.Inc(metrics.CTimeouts)
 			cn.noteFailure()
 			break
 		}

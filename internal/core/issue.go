@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"hybridkv/internal/metrics"
 	"hybridkv/internal/protocol"
 	"hybridkv/internal/sim"
 	"hybridkv/internal/verbs"
@@ -84,6 +85,7 @@ type issueOpts struct {
 	deadline sim.Time // budget from issue time; 0 = none
 	retry    *RetryPolicy
 	hedge    sim.Time // GET hedging threshold; 0 = none
+	readPath ReadPath // GET resolution path; see WithReadPath
 }
 
 // WithBufferAck requests a server BufferAck and blocks Issue until the
@@ -135,7 +137,17 @@ func (c *Client) Issue(p *sim.Proc, op Op, opts ...IssueOption) (*Req, error) {
 	req.txCAS, req.txDelta = op.CAS, op.Delta
 	req.ackWanted = o.ack || c.cfg.AckWanted
 	req.retryable = o.retry != nil
-	c.enqueueWire(req, cn, c.wireFor(req, cn, req.ID))
+	if c.bypassEligible(op, &o) {
+		// Server-bypass resolution: no wire request yet — the resolver
+		// process posts one-sided READs, completing the request itself or
+		// handing it to enqueueWire as an ordinary RPC fallback. The
+		// guard/hedge machinery below attaches identically either way.
+		req.cur = &attempt{id: req.ID, req: req, cn: cn, bypass: true}
+		req.Attempts = 1
+		c.spawnBypass(req, o)
+	} else {
+		c.enqueueWire(req, cn, c.wireFor(req, cn, req.ID))
+	}
 	c.Issued++
 	if o.deadline > 0 || o.retry != nil {
 		c.spawnGuard(req, o)
@@ -238,7 +250,7 @@ func (c *Client) expire(req *Req) {
 	}
 	c.abandon(req.cur)
 	req.CompletedAt = c.env.Now()
-	c.Faults.Add("timeouts", 1)
+	c.Faults.Inc(metrics.CTimeouts)
 	req.done.Fire()
 	req.reusable.Fire()
 }
@@ -254,7 +266,7 @@ func (c *Client) Cancel(req *Req) {
 	req.Status = protocol.StatusError
 	c.abandon(req.cur)
 	req.CompletedAt = c.env.Now()
-	c.Faults.Add("cancels", 1)
+	c.Faults.Inc(metrics.CCancels)
 	req.done.Fire()
 	req.reusable.Fire()
 }
@@ -271,13 +283,13 @@ func (c *Client) retransmit(p *sim.Proc, req *Req, failover bool) {
 	cn := old.cn
 	if failover && len(c.conns) > 1 {
 		cn = c.failoverNext(old.cn, req.Key)
-		c.Faults.Add("failovers", 1)
+		c.Faults.Inc(metrics.CFailovers)
 	}
 	if req.acked {
 		// A self-guarded write chasing its lost final response.
-		c.Faults.Add("acked-retries", 1)
+		c.Faults.Inc(metrics.CAckedRetries)
 	}
-	c.Faults.Add("retries", 1)
+	c.Faults.Inc(metrics.CRetries)
 	p.Sleep(c.cfg.PrepCost)
 	// Fresh nudge per attempt: a recovering/busy rejection of the old
 	// attempt must not short-circuit the new one's response wait, and its
@@ -406,7 +418,7 @@ func (c *Client) failoverNext(cur *conn, key string) *conn {
 		if cn.allows() {
 			return cn
 		}
-		c.Faults.Add("failover-skips", 1)
+		c.Faults.Inc(metrics.CFailoverSkip)
 	}
 	if len(cand) == 0 {
 		// Single-connection client: there is nowhere else to go.
@@ -426,13 +438,18 @@ func (c *Client) spawnHedge(req *Req, after sim.Time) {
 	name := fmt.Sprintf("client/hedge%d", req.ID)
 	c.env.Spawn(name, func(p *sim.Proc) {
 		if p.WaitTimeout(req.done, after) || req.done.Fired() {
+			if req.bypassed {
+				// The GET already resolved on the bypass path; the hedge
+				// would have mirrored an answered read to another server.
+				c.Faults.Inc(metrics.CHedgesSuppressed)
+			}
 			return
 		}
 		cn := c.failoverNext(req.conn, req.Key)
 		if cn == req.conn {
 			return // no distinct replica to hedge onto
 		}
-		c.Faults.Add("hedges", 1)
+		c.Faults.Inc(metrics.CHedges)
 		p.Sleep(c.cfg.PrepCost)
 		c.nextID++
 		c.enqueueWire(req, cn, c.wireFor(req, cn, c.nextID))
@@ -463,6 +480,10 @@ type attempt struct {
 	// attempt settles in it.
 	batch    *txBatch
 	resolved bool
+	// bypass marks a one-sided READ resolution attempt: nothing on the
+	// request/response wire, no credit, no pending entry — abandoning it is
+	// free, and retransmitting it enqueues a normal RPC attempt.
+	bypass bool
 }
 
 // creditBack returns the flow-control credit this attempt consumed, exactly
@@ -603,7 +624,7 @@ func (cn *conn) progressEngine(p *sim.Proc) {
 		}
 		att := cn.pending[resp.ReqID]
 		if att == nil {
-			cn.c.Faults.Add("stale-responses", 1)
+			cn.c.Faults.Inc(metrics.CStaleResponses)
 			continue
 		}
 		req := att.req
@@ -620,14 +641,14 @@ func (cn *conn) progressEngine(p *sim.Proc) {
 			att.resolve()
 			delete(cn.pending, resp.ReqID)
 			if att.abandoned || req.done.Fired() {
-				cn.c.Faults.Add("stale-responses", 1)
+				cn.c.Faults.Inc(metrics.CStaleResponses)
 				continue
 			}
 			if resp.Status == protocol.StatusBusy {
 				// Shed at admission: breaker food, unlike recovering — a
 				// recovering server is rebuilding, not saturated.
 				cn.noteFailure()
-				cn.c.Faults.Add("busy", 1)
+				cn.c.Faults.Inc(metrics.CBusy)
 			} else {
 				cn.noteSuccess()
 			}
@@ -644,9 +665,9 @@ func (cn *conn) progressEngine(p *sim.Proc) {
 				case protocol.StatusNoReplica:
 					// The coordinator itself is healthy (it answered); the
 					// chain behind it is not. No breaker food, just a counter.
-					cn.c.Faults.Add("no-replica", 1)
+					cn.c.Faults.Inc(metrics.CNoReplica)
 				default:
-					cn.c.Faults.Add("recovering", 1)
+					cn.c.Faults.Inc(metrics.CRecovering)
 				}
 				req.nudge.Fire()
 				continue

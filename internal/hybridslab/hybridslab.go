@@ -138,6 +138,24 @@ type Config struct {
 	AsyncFlushDepth int
 }
 
+// NotifyEvent classifies an item lifecycle transition driven by the
+// eviction machinery (as opposed to store commands, which the store layer
+// observes directly). The server-bypass directory subscribes to keep its
+// published index coherent with item placement.
+type NotifyEvent int
+
+const (
+	// EvictStaged: the item left the RAM recency list for an in-flight
+	// flush; its RAM copy is about to move.
+	EvictStaged NotifyEvent = iota
+	// EvictDropped: the value was discarded entirely; the key is dead.
+	EvictDropped
+	// EvictLanded: the item's authoritative copy now lives on the SSD.
+	EvictLanded
+	// EvictRestored: a failed flush returned the item to the RAM list.
+	EvictRestored
+)
+
 // Manager owns one server's item memory.
 type Manager struct {
 	env    *sim.Env
@@ -145,6 +163,8 @@ type Manager struct {
 	alloc  *slab.Allocator
 	lrus   []slab.LRU[*Item] // one per class, RAM residents only
 	ssdLRU slab.LRU[*Item]   // SSD residents, for SSD-full eviction
+
+	notify func(*Item, NotifyEvent)
 
 	file        *pagecache.File // nil for RAM-only
 	flushing    int             // evictions in flight (concurrent workers)
@@ -231,6 +251,17 @@ type flushJob struct {
 	class   int
 	chunk   int
 	gen     uint64
+}
+
+// SetNotify installs the eviction lifecycle observer. One observer; the
+// store layer fans out if it ever needs more.
+func (m *Manager) SetNotify(fn func(*Item, NotifyEvent)) { m.notify = fn }
+
+// event reports one item transition to the observer, if any.
+func (m *Manager) event(it *Item, ev NotifyEvent) {
+	if m.notify != nil {
+		m.notify(it, ev)
+	}
 }
 
 // Allocator exposes the underlying slab allocator (read-only use).
@@ -369,6 +400,7 @@ func (m *Manager) evictOnePage(p *sim.Proc, class int) {
 			v.Value = nil
 			v.dropped = true
 			m.DropEvictions++
+			m.event(v, EvictDropped)
 		}
 		return
 	}
@@ -377,6 +409,7 @@ func (m *Manager) evictOnePage(p *sim.Proc, class int) {
 	// concurrent Touch/Release leave the relinking to us.
 	for _, v := range victims {
 		v.inTransit = true
+		m.event(v, EvictStaged)
 	}
 	gen0 := m.gen
 	m.flushing++
@@ -683,11 +716,13 @@ func (m *Manager) unflush(job flushJob, freeRAM bool) {
 				v.Value = nil
 				v.dropped = true
 				m.DropEvictions++
+				m.event(v, EvictDropped)
 				continue
 			}
 		}
 		v.onSSD = false
 		m.lrus[job.class].PushFront(&v.lru)
+		m.event(v, EvictRestored)
 	}
 }
 
@@ -699,6 +734,7 @@ func (m *Manager) abandonJob(job flushJob) {
 		v.inTransit = false
 		v.Value = nil
 		v.dropped = true
+		m.event(v, EvictDropped)
 	}
 }
 
@@ -727,6 +763,7 @@ func (m *Manager) dropJob(job flushJob, freeRAM bool) {
 			v.Value = nil
 			v.dropped = true
 			m.DropEvictions++
+			m.event(v, EvictDropped)
 		}
 	}
 }
@@ -758,6 +795,7 @@ func (m *Manager) placeAt(job flushJob, base int64, freeRAM bool) {
 		m.ssdLRU.PushFront(&v.lru)
 		pg.live++
 		m.FlushedItems++
+		m.event(v, EvictLanded)
 	}
 	if pg.live == 0 {
 		// Every victim died mid-flush; recycle the region immediately.
@@ -791,6 +829,7 @@ func (m *Manager) ssdAlloc(size int64) (int64, bool) {
 		v.Value = nil
 		v.dropped = true
 		m.DropEvictions++
+		m.event(v, EvictDropped)
 		if free := m.ssdFree[size]; len(free) > 0 {
 			off := free[len(free)-1]
 			m.ssdFree[size] = free[:len(free)-1]
@@ -870,6 +909,7 @@ func (m *Manager) Load(p *sim.Proc, it *Item) (any, error) {
 			it.Value = nil
 			it.dropped = true
 			m.CorruptLoads++
+			m.event(it, EvictDropped)
 			return nil, ErrDropped
 		}
 		// Raced with a replace that moved the value while the device read

@@ -216,6 +216,45 @@ func (b *Breakdown) Render(n int64) string {
 	return sb.String()
 }
 
+// Counter names the fault, retry, and availability counters the client
+// runtime maintains. Typed constants replace the stringly-typed keys that
+// used to be scattered through internal/core: call sites increment with
+// Counters.Inc and read with Counters.Val, so a typo is a compile error
+// instead of a silently-zero counter.
+type Counter string
+
+const (
+	// Retry/guard counters.
+	CRetries      Counter = "retries"       // guard retransmissions
+	CTimeouts     Counter = "timeouts"      // attempts abandoned at the deadline
+	CCancels      Counter = "cancels"       // caller-initiated cancellations
+	CFailovers    Counter = "failovers"     // retransmissions redirected to a replica
+	CFailoverSkip Counter = "failover-skips" // failover candidates skipped (down/open)
+	CAckedRetries Counter = "acked-retries" // retransmits of already-buffer-acked reqs
+	CHedges       Counter = "hedges"        // hedge attempts actually spawned
+	// CHedgesSuppressed counts hedges skipped because the request had
+	// already been resolved by the bypass fast path; see WithHedge.
+	CHedgesSuppressed Counter = "hedges-suppressed"
+
+	// Server-pushback counters.
+	CStaleResponses Counter = "stale-responses" // responses for superseded attempts
+	CBusy           Counter = "busy"            // StatusBusy shed rejections
+	CRecovering     Counter = "recovering"      // StatusRecovering rejections
+	CNoReplica      Counter = "no-replica"      // StatusNoReplica chain failures
+
+	// Circuit-breaker counters.
+	CBreakerOpen     Counter = "breaker-open"
+	CBreakerHalfOpen Counter = "breaker-halfopen"
+	CBreakerClose    Counter = "breaker-close"
+	CBreakerReroutes Counter = "breaker-reroutes"
+
+	// Server-bypass read-path counters.
+	CBypassHits       Counter = "bypass-hits"       // GETs resolved by one-sided READs
+	CBypassFastPath   Counter = "bypass-fastpath"   // hits resolved by a single cached-location READ
+	CBypassFallbacks  Counter = "bypass-fallbacks"  // bypass attempts that fell back to RPC
+	CBypassBootstraps Counter = "bypass-bootstraps" // OpDirQuery directory fetches
+)
+
 // Counters is a named-counter bag for fault, retry, and availability
 // accounting. The zero value is not usable; call NewCounters.
 type Counters struct {
@@ -232,6 +271,13 @@ func (c *Counters) Add(name string, n int64) { c.vals[name] += n }
 
 // Get returns the named counter (0 if never touched).
 func (c *Counters) Get(name string) int64 { return c.vals[name] }
+
+// Inc increments a typed counter by one (every runtime site counts single
+// events).
+func (c *Counters) Inc(ctr Counter) { c.vals[string(ctr)]++ }
+
+// Val returns a typed counter's value.
+func (c *Counters) Val(ctr Counter) int64 { return c.vals[string(ctr)] }
 
 // Names returns the touched counter names in sorted order.
 func (c *Counters) Names() []string {

@@ -35,6 +35,11 @@ const (
 	OpTouch   // update the expiration time only
 	// OpFlushAll invalidates every item on the server.
 	OpFlushAll
+	// OpDirQuery bootstraps the server-bypass read path: the response
+	// carries a DirectoryInfo naming the server's published directory and
+	// value MRs, after which the client resolves GET hits with one-sided
+	// READs and never involves the server CPU again.
+	OpDirQuery
 )
 
 func (o Opcode) String() string {
@@ -67,6 +72,8 @@ func (o Opcode) String() string {
 		return "TOUCH"
 	case OpFlushAll:
 		return "FLUSH_ALL"
+	case OpDirQuery:
+		return "DIR_QUERY"
 	}
 	return fmt.Sprintf("Opcode(%d)", uint8(o))
 }
@@ -225,6 +232,81 @@ func (r *Request) AppendHeader(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, r.Delta)
 	dst = append(dst, r.Key...)
 	return dst
+}
+
+// Server-bypass directory wire layout. The directory is a bucket array of
+// fixed-size slots inside one registered MR; clients probe it with one-sided
+// READs, so the slot geometry is part of the protocol, not the server.
+const (
+	// DirSlotBytes is one directory slot on the wire: key digest (8) +
+	// version (8) + value offset (8) + value length (8) + flags (4) +
+	// pad (4) + CAS (8).
+	DirSlotBytes = 48
+	// DirSegHeaderBytes is the validation header an offset-addressed value
+	// READ carries alongside the value bytes: digest (8) + version (8) +
+	// size (4) + flags (4) + CAS (8) + expiry (8).
+	DirSegHeaderBytes = 40
+	// DirInfoBytes is the OpDirQuery response body: directory MR key (8) +
+	// value MR key (8) + bucket count (8).
+	DirInfoBytes = 24
+)
+
+// DirSlotSSD in DirSlot.Flags marks a value whose authoritative copy lives
+// in an SSD extent: it is not READ-addressable and the client must fall
+// back to RPC.
+const DirSlotSSD uint32 = 1
+
+// DirectoryInfo is the OpDirQuery response payload: where the directory
+// lives and how it is shaped.
+type DirectoryInfo struct {
+	DirMR   int // rkey of the slot-array MR
+	ValMR   int // rkey of the offset-addressed value MR
+	Buckets int // slot count; bucket(key) = KeyDigest(key) % Buckets
+}
+
+// DirSlot is the client-side decode of one directory slot READ.
+type DirSlot struct {
+	Digest  uint64 // KeyDigest of the occupying key; 0 = empty slot
+	Version uint64 // seqlock: odd = mutation in progress
+	Off     int64  // value segment offset inside ValMR
+	Len     int    // value bytes
+	SSD     bool   // decoded from Flags&DirSlotSSD
+	Flags   uint32 // item flags
+	CAS     uint64 // item CAS token
+}
+
+// DirSegment is the client-side decode of one value segment READ: the value
+// bytes prefixed by a validation header that lets the client detect a slot
+// that was republished for a different key or bumped mid-flight.
+type DirSegment struct {
+	Digest    uint64
+	Version   uint64
+	ValueSize int
+	Flags     uint32
+	CAS       uint64
+	ExpireAt  int64 // absolute sim time; 0 = never
+	Value     any
+}
+
+// WireSize returns the bytes a segment READ of this value moves.
+func (s *DirSegment) WireSize() int { return DirSegHeaderBytes + s.ValueSize }
+
+// KeyDigest hashes a key for directory slot matching (FNV-1a). Digest 0 is
+// reserved to mean "empty slot", so real digests are folded away from it.
+func KeyDigest(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	d := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		d ^= uint64(key[i])
+		d *= prime64
+	}
+	if d == 0 {
+		d = 1
+	}
+	return d
 }
 
 // ErrShortHeader reports a truncated or corrupt header.

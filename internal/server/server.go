@@ -186,6 +186,15 @@ type Server struct {
 	// replicas before any ack or response.
 	repl *replication.Replicator
 
+	// bypass, when attached, is the published read-side directory clients
+	// resolve GETs against with one-sided READs. The server's only duties
+	// are answering OpDirQuery bootstraps and keeping the directory
+	// coherent across crash/restart; steady-state reads cost it nothing.
+	bypass *store.Directory
+	// onColdRecovery hooks run after a cold-restart recovery scan rebuilds
+	// the store, before requests are admitted.
+	onColdRecovery []func(keys []string)
+
 	started bool
 	down    bool
 	// killed is set by Kill (whole-node loss): only a cold restart may
@@ -302,6 +311,49 @@ func (s *Server) Host() *verbs.Host { return s.host }
 // RecvDepth returns the per-connection credit count clients must respect.
 func (s *Server) RecvDepth() int { return s.cfg.RecvDepth }
 
+// Extensions bundles every optional server subsystem behind one attach
+// call, so design constructors hand the server a single extension set
+// instead of invoking a growing pile of AttachX hooks.
+type Extensions struct {
+	// Replicator makes the storage phase the replicated one (see
+	// AttachReplicator).
+	Replicator *replication.Replicator
+	// BypassDirectory publishes the store's read side for one-sided-READ
+	// GETs (see AttachBypassDirectory).
+	BypassDirectory *store.Directory
+	// OnColdRecovery runs after a cold-restart recovery scan rebuilds the
+	// store, with the recovered key set, before requests are admitted.
+	OnColdRecovery func(keys []string)
+}
+
+// Attach installs an extension bundle. Call before the simulation runs;
+// fields left nil are skipped, and repeated calls accumulate.
+func (s *Server) Attach(ext Extensions) {
+	if ext.Replicator != nil {
+		s.AttachReplicator(ext.Replicator)
+	}
+	if ext.BypassDirectory != nil {
+		s.AttachBypassDirectory(ext.BypassDirectory)
+	}
+	if ext.OnColdRecovery != nil {
+		s.onColdRecovery = append(s.onColdRecovery, ext.OnColdRecovery)
+	}
+}
+
+// AttachBypassDirectory installs the published read-side directory: the
+// store's read view is wired to it, and OpDirQuery bootstraps answer with
+// its geometry. Attach before the simulation runs; RDMA servers only.
+func (s *Server) AttachBypassDirectory(d *store.Directory) {
+	if s.dev == nil {
+		panic("server: bypass directory requires the RDMA transport")
+	}
+	s.bypass = d
+	s.st.SetReadView(d)
+}
+
+// BypassDirectory returns the attached directory (nil when not attached).
+func (s *Server) BypassDirectory() *store.Directory { return s.bypass }
+
 // AttachReplicator installs the server's replicator: the storage phase
 // becomes the replicated one, and requested BufferAcks on writes are
 // withheld until the replication chain completes. Attach before the
@@ -389,6 +441,13 @@ func (s *Server) Crash() {
 	s.down = true
 	s.gen++
 	s.st.Manager().AbortEvictionBatches()
+	if s.bypass != nil {
+		// The NIC keeps serving one-sided READs of the registered MRs even
+		// while the process is dead; quiesce the directory so those READs
+		// observe emptiness (⇒ RPC fallback), never values that may not
+		// survive the restart.
+		s.bypass.Quiesce()
+	}
 }
 
 // Restart brings a crashed server back warm. Requests arriving from now on
@@ -398,6 +457,9 @@ func (s *Server) Restart() {
 		panic("server: warm Restart after Kill — RAM is gone, use RestartCold")
 	}
 	s.down = false
+	// Warm restart: the store survived, so the directory quiesced at crash
+	// time is simply republished.
+	s.st.PublishAll()
 }
 
 // Kill models whole-node loss, the failure mode replication exists for:
@@ -440,11 +502,24 @@ func (s *Server) RestartCold() {
 		s.Recovery.Add("pages-uncommitted", rep.PagesUncommitted)
 		s.Recovery.Add("items-recovered", rep.ItemsRecovered)
 		s.Recovery.Add("items-missing", rep.ItemsMissing)
-		if s.repl != nil {
-			// The SSD resurrected values, but the epoch table proving their
-			// freshness died with the node: every recovered key is suspect
-			// until a peer replica confirms it.
-			s.repl.OnColdRecovery(s.st.Keys())
+		if s.repl != nil || len(s.onColdRecovery) > 0 {
+			keys := s.st.Keys()
+			if s.repl != nil {
+				// The SSD resurrected values, but the epoch table proving
+				// their freshness died with the node: every recovered key is
+				// suspect until a peer replica confirms it.
+				s.repl.OnColdRecovery(keys)
+			}
+			for _, fn := range s.onColdRecovery {
+				fn(keys)
+			}
+		}
+		if s.repl == nil {
+			// Republish the recovered read side. Under replication the
+			// directory instead refills lazily as anti-entropy confirms or
+			// rewrites keys — recovered values are suspect until then, and
+			// a one-sided READ must never leak a value RPC would withhold.
+			s.st.PublishAll()
 		}
 		s.recovering = false
 	})
@@ -502,6 +577,22 @@ func (s *Server) dispatchOne(p *sim.Proc, conn *rdmaConn, req *protocol.Request)
 			Op: protocol.OpResponse, ReqID: req.ReqID,
 			Status: protocol.StatusRecovering,
 		})
+		conn.qp.PostRecv(verbs.RecvWR{})
+		return
+	}
+	if req.Op == protocol.OpDirQuery {
+		// Bypass bootstrap: answer with the directory geometry inline —
+		// this is control-plane work, never queued behind storage.
+		resp := &protocol.Response{Op: protocol.OpResponse, ReqID: req.ReqID}
+		if s.bypass != nil {
+			info := s.bypass.Info()
+			resp.Status = protocol.StatusOK
+			resp.Value = &info
+			resp.ValueSize = protocol.DirInfoBytes
+		} else {
+			resp.Status = protocol.StatusNotFound
+		}
+		s.respond(p, conn, req, resp)
 		conn.qp.PostRecv(verbs.RecvWR{})
 		return
 	}

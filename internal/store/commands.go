@@ -24,6 +24,7 @@ func (s *Store) lookup(p *sim.Proc, key string) *hybridslab.Item {
 	if it.ExpireAt != 0 && s.env.Now() >= it.ExpireAt {
 		s.mgr.Release(it)
 		delete(s.table, key)
+		s.unpublish(key)
 		s.Expired++
 		return nil
 	}
@@ -99,6 +100,7 @@ func (s *Store) concatCmd(p *sim.Proc, key string, extraSize int, extra any, pre
 	old, err := s.mgr.Load(p, it)
 	if err != nil {
 		delete(s.table, key)
+		s.unpublish(key)
 		return protocol.StatusNotStored
 	}
 	newValue, newSize := concat(prepend, old, it.ValueSize, extra, extraSize)
@@ -140,6 +142,7 @@ func (s *Store) arith(p *sim.Proc, key string, delta uint64, dec bool) (uint64, 
 	v, err := s.mgr.Load(p, it)
 	if err != nil {
 		delete(s.table, key)
+		s.unpublish(key)
 		return 0, protocol.StatusNotFound
 	}
 	cur, ok := v.(uint64)
@@ -165,11 +168,13 @@ func (s *Store) arith(p *sim.Proc, key string, delta uint64, dec bool) (uint64, 
 		return next, protocol.StatusOK
 	}
 	// RAM-resident counters mutate in place: same class, no reallocation.
+	s.publishBegin(key)
 	p.Sleep(updateCost)
 	it.Value = next
 	s.cas++
 	it.CAS = s.cas
 	s.mgr.Touch(it)
+	s.publish(it)
 	return next, protocol.StatusOK
 }
 
@@ -192,6 +197,7 @@ func (s *Store) FlushAll(p *sim.Proc) protocol.Status {
 	for _, key := range keys {
 		s.mgr.Release(s.table[key])
 		delete(s.table, key)
+		s.unpublish(key)
 	}
 	s.Flushes++
 	return protocol.StatusOK
@@ -204,6 +210,7 @@ func (s *Store) Touch(p *sim.Proc, key string, expire uint32) protocol.Status {
 	if it == nil {
 		return protocol.StatusNotFound
 	}
+	s.publishBegin(key)
 	p.Sleep(updateCost)
 	if expire > 0 {
 		it.ExpireAt = s.env.Now() + sim.Time(expire)*sim.Second
@@ -211,5 +218,6 @@ func (s *Store) Touch(p *sim.Proc, key string, expire uint32) protocol.Status {
 		it.ExpireAt = 0
 	}
 	s.mgr.Touch(it)
+	s.publish(it)
 	return protocol.StatusOK
 }

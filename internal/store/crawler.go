@@ -69,6 +69,7 @@ func (s *Store) crawlOnce(p *sim.Proc, batch int) {
 		}
 		s.mgr.Release(it)
 		delete(s.table, it.Key)
+		s.unpublish(it.Key)
 		s.Expired++
 		s.CrawlerReclaimed++
 	}

@@ -1,0 +1,254 @@
+package store
+
+import (
+	"hybridkv/internal/hybridslab"
+	"hybridkv/internal/protocol"
+	"hybridkv/internal/verbs"
+)
+
+// This file implements the server-bypass read-side index: the store's live
+// items published into registered MRs so clients resolve GET hits with
+// one-sided RDMA READs and zero server CPU (RFP's remote-fetching paradigm,
+// with HiStore's published-and-versioned index making it safe).
+//
+// Layout. The directory MR is a bucket array of fixed-size slots
+// (protocol.DirSlotBytes each); bucket(key) = KeyDigest(key) mod Buckets.
+// Each RAM-resident value is published as an immutable snapshot segment
+// (protocol.DirSegment) at a fresh offset in the value MR; offsets grow
+// monotonically and are never reused, so a segment that still exists at an
+// offset IS the value that was published there — a client holding a cached
+// offset either reads that exact snapshot or reads emptiness and falls
+// back to RPC. Slots carry a seqlock-style version: odd while a mutation
+// window is open, bumped to a fresh even value at every commit, so probing
+// clients detect in-progress or changed state without locks.
+//
+// Coherence. The store calls PublishBegin/Publish/Unpublish around every
+// command-path mutation; the slab manager's eviction notifications arrive
+// through EvictionUpdate (identity-checked, since eviction may be acting on
+// a superseded incarnation of a key). Crash quiesces the directory — all
+// segments cleared, versions retained — so clients READing a dead server's
+// still-registered MRs observe emptiness, never stale values.
+
+// valArenaBytes sizes the value MR's virtual offset space. Offsets are
+// monotonically allocated and never reused, so this only bounds total bytes
+// ever published, not live bytes.
+const valArenaBytes = 1 << 40
+
+// dirEntry records where one key's snapshot lives (off = -1 when the key is
+// published SSD-resident and has no READ-addressable segment).
+type dirEntry struct {
+	it  *hybridslab.Item
+	off int64
+	n   int
+}
+
+// Directory is the MR-backed published index. It implements ReadView.
+type Directory struct {
+	dirMR   *verbs.MR
+	valMR   *verbs.MR
+	buckets int
+	// versions is the per-bucket seqlock; it survives Quiesce so slots
+	// republished after a restart always carry advanced versions.
+	versions []uint64
+	owner    []string
+	entries  map[string]*dirEntry
+	nextOff  int64
+
+	// Stats
+	Publishes     int64
+	Unpublishes   int64
+	Displacements int64
+}
+
+// NewDirectory registers the directory and value MRs on pd (setup-time, no
+// simulated cost — directory bring-up is not on the measured path).
+// buckets ≤ 0 selects the default geometry.
+func NewDirectory(pd *verbs.PD, buckets int) *Directory {
+	if buckets <= 0 {
+		buckets = 1 << 15
+	}
+	d := &Directory{
+		dirMR:    pd.RegisterMRSetup(buckets * protocol.DirSlotBytes),
+		valMR:    pd.RegisterMRSetup(valArenaBytes),
+		buckets:  buckets,
+		versions: make([]uint64, buckets),
+		owner:    make([]string, buckets),
+		entries:  make(map[string]*dirEntry),
+	}
+	// Segment-addressed from birth: a READ of an unpublished slot or
+	// offset returns emptiness, not a whole-region payload.
+	d.dirMR.ClearSegments()
+	d.valMR.ClearSegments()
+	return d
+}
+
+// Info describes the directory for the OpDirQuery bootstrap response.
+func (d *Directory) Info() protocol.DirectoryInfo {
+	return protocol.DirectoryInfo{DirMR: d.dirMR.LKey(), ValMR: d.valMR.LKey(), Buckets: d.buckets}
+}
+
+// Buckets returns the slot count.
+func (d *Directory) Buckets() int { return d.buckets }
+
+func (d *Directory) bucket(key string) int {
+	return int(protocol.KeyDigest(key) % uint64(d.buckets))
+}
+
+func (d *Directory) slotOff(b int) int64 { return int64(b) * protocol.DirSlotBytes }
+
+// alloc hands out a fresh, never-reused value offset.
+func (d *Directory) alloc(n int) int64 {
+	off := d.nextOff
+	d.nextOff += int64(n)
+	return off
+}
+
+// writeSlot publishes bucket b's slot for key at the bucket's current
+// version.
+func (d *Directory) writeSlot(b int, key string) {
+	e := d.entries[key]
+	if e == nil {
+		return
+	}
+	it := e.it
+	flags := it.Flags
+	ssd := it.OnSSD()
+	if ssd {
+		flags |= protocol.DirSlotSSD
+	}
+	slot := protocol.DirSlot{
+		Digest:  protocol.KeyDigest(key),
+		Version: d.versions[b],
+		Off:     e.off,
+		Len:     e.n,
+		SSD:     ssd,
+		Flags:   flags,
+		CAS:     it.CAS,
+	}
+	d.dirMR.SetSegment(d.slotOff(b), slot, protocol.DirSlotBytes)
+}
+
+// PublishBegin opens key's mutation window: the slot version goes odd so
+// probing clients fall back to RPC until the commit. A no-op when key does
+// not own its bucket (fresh insert, or displaced by a colliding key).
+func (d *Directory) PublishBegin(key string) {
+	b := d.bucket(key)
+	if d.owner[b] != key {
+		return
+	}
+	if d.versions[b]%2 == 0 {
+		d.versions[b]++
+	}
+	d.writeSlot(b, key)
+}
+
+// Publish commits key's current item: the previous snapshot (and any
+// colliding bucket occupant's) is cleared, a fresh immutable snapshot is
+// published at a new offset, and the slot lands with a fresh even version.
+// SSD-resident items publish slot metadata only, flagged so clients fall
+// back to RPC for the value.
+func (d *Directory) Publish(it *hybridslab.Item) {
+	key := it.Key
+	b := d.bucket(key)
+	if own := d.owner[b]; own != "" && own != key {
+		// Bucket collision: the displaced key leaves the directory
+		// entirely — its segment must be cleared, or clients holding its
+		// cached offset would keep reading a snapshot that no directory
+		// state invalidates.
+		if e := d.entries[own]; e != nil {
+			if e.off >= 0 {
+				d.valMR.ClearSegment(e.off)
+			}
+			delete(d.entries, own)
+		}
+		d.Displacements++
+	}
+	if e := d.entries[key]; e != nil && e.off >= 0 {
+		d.valMR.ClearSegment(e.off)
+	}
+	v := d.versions[b]
+	if v%2 == 1 {
+		v++
+	} else {
+		v += 2
+	}
+	d.versions[b] = v
+	d.owner[b] = key
+
+	e := &dirEntry{it: it, off: -1}
+	if !it.OnSSD() && !it.Dropped() {
+		seg := protocol.DirSegment{
+			Digest:    protocol.KeyDigest(key),
+			Version:   v,
+			ValueSize: it.ValueSize,
+			Flags:     it.Flags,
+			CAS:       it.CAS,
+			ExpireAt:  int64(it.ExpireAt),
+			Value:     it.Value,
+		}
+		e.n = seg.WireSize()
+		e.off = d.alloc(e.n)
+		d.valMR.SetSegment(e.off, seg, e.n)
+	}
+	d.entries[key] = e
+	d.writeSlot(b, key)
+	d.Publishes++
+}
+
+// Unpublish removes key from the directory: snapshot cleared, slot cleared,
+// version advanced so in-flight probes that saw the old slot fail their
+// validation.
+func (d *Directory) Unpublish(key string) {
+	b := d.bucket(key)
+	if e := d.entries[key]; e != nil {
+		if e.off >= 0 {
+			d.valMR.ClearSegment(e.off)
+		}
+		delete(d.entries, key)
+	}
+	if d.owner[b] == key {
+		v := d.versions[b]
+		if v%2 == 1 {
+			v++
+		} else {
+			v += 2
+		}
+		d.versions[b] = v
+		d.owner[b] = ""
+		d.dirMR.ClearSegment(d.slotOff(b))
+	}
+	d.Unpublishes++
+}
+
+// EvictionUpdate applies a slab-manager eviction transition. Eviction can
+// act on a superseded incarnation of a key (an old item still in a flush
+// window after a replace), so the event is identity-checked against the
+// published entry and ignored unless it concerns the current one.
+func (d *Directory) EvictionUpdate(it *hybridslab.Item, ev hybridslab.NotifyEvent) {
+	e := d.entries[it.Key]
+	if e == nil || e.it != it {
+		return
+	}
+	switch ev {
+	case hybridslab.EvictStaged:
+		d.PublishBegin(it.Key)
+	case hybridslab.EvictDropped:
+		d.Unpublish(it.Key)
+	case hybridslab.EvictLanded, hybridslab.EvictRestored:
+		d.Publish(it)
+	}
+}
+
+// Quiesce empties the published state (crash, or the prelude to a cold
+// restart): every slot and snapshot reads as emptiness, so clients READing
+// the dead server's still-registered MRs fall back to RPC rather than
+// observe values that may not survive recovery. Versions are retained, so
+// republished slots never reuse a version an old probe might hold.
+func (d *Directory) Quiesce() {
+	d.dirMR.ClearSegments()
+	d.valMR.ClearSegments()
+	d.entries = make(map[string]*dirEntry)
+	for i := range d.owner {
+		d.owner[i] = ""
+	}
+}

@@ -22,12 +22,26 @@ const (
 	updateCost = 150 * sim.Nanosecond // LRU relink + freshness bookkeeping
 )
 
+// ReadView is the store's versioned read-side publication interface: an
+// implementation (the server-bypass Directory) mirrors the live item index
+// so remote clients can resolve reads without the server CPU. The store
+// calls PublishBegin before a mutation window opens for a published key,
+// Publish when a key's current item (re)lands, and Unpublish when a key
+// dies; eviction transitions arrive via EvictionUpdate.
+type ReadView interface {
+	PublishBegin(key string)
+	Publish(it *hybridslab.Item)
+	Unpublish(key string)
+	EvictionUpdate(it *hybridslab.Item, ev hybridslab.NotifyEvent)
+}
+
 // Store is one server's key-value state.
 type Store struct {
 	env   *sim.Env
 	mgr   *hybridslab.Manager
 	table map[string]*hybridslab.Item
 	cas   uint64
+	view  ReadView
 
 	// Prof accumulates the server-side stage breakdown.
 	Prof *metrics.Breakdown
@@ -54,6 +68,43 @@ func New(env *sim.Env, mgr *hybridslab.Manager) *Store {
 
 // Manager returns the underlying hybrid slab manager.
 func (s *Store) Manager() *hybridslab.Manager { return s.mgr }
+
+// SetReadView installs the read-side publication view and subscribes it to
+// the slab manager's eviction lifecycle.
+func (s *Store) SetReadView(v ReadView) {
+	s.view = v
+	s.mgr.SetNotify(v.EvictionUpdate)
+}
+
+func (s *Store) publishBegin(key string) {
+	if s.view != nil {
+		s.view.PublishBegin(key)
+	}
+}
+
+func (s *Store) publish(it *hybridslab.Item) {
+	if s.view != nil {
+		s.view.Publish(it)
+	}
+}
+
+func (s *Store) unpublish(key string) {
+	if s.view != nil {
+		s.view.Unpublish(key)
+	}
+}
+
+// PublishAll (re)publishes every live key into the read view, in sorted
+// order for determinism. The server calls it after a restart repopulates or
+// revalidates the table, undoing the crash-time Quiesce.
+func (s *Store) PublishAll() {
+	if s.view == nil {
+		return
+	}
+	for _, key := range s.Keys() {
+		s.publish(s.table[key])
+	}
+}
 
 // Stats is a point-in-time server statistics snapshot (the memcached
 // "stats" command).
@@ -176,6 +227,7 @@ func (s *Store) Set(p *sim.Proc, key string, valueSize int, value any, flags uin
 	// Re-read the table entry: the allocation above can suspend, and a
 	// concurrent worker may have replaced the key meanwhile.
 	t0 = p.Now()
+	s.publishBegin(key)
 	p.Sleep(updateCost)
 	if old := s.table[key]; old != nil {
 		s.mgr.Release(old)
@@ -183,6 +235,7 @@ func (s *Store) Set(p *sim.Proc, key string, valueSize int, value any, flags uin
 	s.cas++
 	it.CAS = s.cas
 	s.table[key] = it
+	s.publish(it)
 	s.Prof.Add(metrics.StageCacheUpdate, p.Now()-t0)
 	return protocol.StatusStored
 }
@@ -205,6 +258,7 @@ func (s *Store) Get(p *sim.Proc, key string) (value any, size int, flags uint32,
 	if it.ExpireAt != 0 && s.env.Now() >= it.ExpireAt {
 		s.mgr.Release(it)
 		delete(s.table, key)
+		s.unpublish(key)
 		s.Expired++
 		s.Prof.Add(metrics.StageCacheLoad, p.Now()-t0)
 		s.GetMisses++
@@ -220,6 +274,7 @@ func (s *Store) Get(p *sim.Proc, key string) (value any, size int, flags uint32,
 		}
 		// Value dropped by eviction: the key is dead.
 		delete(s.table, key)
+		s.unpublish(key)
 		s.GetMisses++
 		return nil, 0, 0, 0, protocol.StatusNotFound
 	}
@@ -243,6 +298,7 @@ func (s *Store) Delete(p *sim.Proc, key string) protocol.Status {
 	}
 	s.mgr.Release(it)
 	delete(s.table, key)
+	s.unpublish(key)
 	return protocol.StatusDeleted
 }
 

@@ -113,14 +113,25 @@ func (d *Device) AllocPD() *PD { return &PD{dev: d} }
 
 // MR is a registered memory region. Contents are modeled as an opaque
 // payload slot that RDMA WRITEs deposit into and RDMA READs fetch from.
+// Regions that serve offset-addressed READs (the server-bypass directory)
+// additionally carry a segment map keyed by byte offset; a READ with a
+// remote offset fetches the segment at that offset instead of the whole
+// payload slot.
 type MR struct {
-	pd      *PD
-	lkey    int
-	size    int
-	payload any
-	plen    int
-	atomic  uint64
-	valid   bool
+	pd       *PD
+	lkey     int
+	size     int
+	payload  any
+	plen     int
+	segments map[int64]mrSegment
+	atomic   uint64
+	valid    bool
+}
+
+// mrSegment is one offset-addressed region of an MR's contents.
+type mrSegment struct {
+	v any
+	n int
 }
 
 // RegisterMR registers size bytes, charging p the pin+MTT-programming cost.
@@ -159,6 +170,36 @@ func (mr *MR) SetPayload(v any, n int) {
 		panic(fmt.Sprintf("verbs: payload %d exceeds MR size %d", n, mr.size))
 	}
 	mr.payload, mr.plen = v, n
+}
+
+// SetSegment stores contents at a byte offset inside the region, making it
+// addressable by RDMA READs carrying that offset. Offsets are opaque to the
+// HCA model; the caller owns the allocation discipline.
+func (mr *MR) SetSegment(off int64, v any, n int) {
+	if off < 0 || off+int64(n) > int64(mr.size) {
+		panic(fmt.Sprintf("verbs: segment [%d,%d) exceeds MR size %d", off, off+int64(n), mr.size))
+	}
+	if mr.segments == nil {
+		mr.segments = make(map[int64]mrSegment)
+	}
+	mr.segments[off] = mrSegment{v: v, n: n}
+}
+
+// ClearSegment removes the segment at off; READs of it then return empty.
+func (mr *MR) ClearSegment(off int64) {
+	delete(mr.segments, off)
+}
+
+// ClearSegments drops every segment but keeps the region segment-addressed,
+// so in-flight READs observe emptiness rather than the whole-payload slot.
+func (mr *MR) ClearSegments() {
+	mr.segments = make(map[int64]mrSegment)
+}
+
+// Segment returns the local contents at off (zero value if absent).
+func (mr *MR) Segment(off int64) (any, int) {
+	seg := mr.segments[off]
+	return seg.v, seg.n
 }
 
 // Deregister invalidates the region.
@@ -232,6 +273,9 @@ type SendWR struct {
 	Payload any
 	// RemoteMR is the remote region targeted by WRITE/WRITE_IMM/READ.
 	RemoteMR int
+	// RemoteOff addresses a segment inside the remote region (READ of a
+	// segment-addressed MR only; ignored for whole-region operations).
+	RemoteOff int64
 	// LocalMR receives RDMA READ data.
 	LocalMR *MR
 	// Imm is delivered with WRITE_IMM.
@@ -300,13 +344,14 @@ type wire struct {
 	kind     Op
 	srcQPN   int
 	dstQPN   int
-	wrid     uint64 // requester's WRID (for READ responses)
-	payload  any
-	size     int
-	remoteMR int
-	imm      uint64
-	signaled bool
-	ackFor   bool // this is a READ response
+	wrid      uint64 // requester's WRID (for READ responses)
+	payload   any
+	size      int
+	remoteMR  int
+	remoteOff int64
+	imm       uint64
+	signaled  bool
+	ackFor    bool // this is a READ response
 }
 
 // PostSend posts a send-queue WR, charging the caller only the doorbell
@@ -344,7 +389,8 @@ func (qp *QP) start(wr SendWR) *simnet.Outgoing {
 		qp.pendingReads[wr.WRID] = &wrCopy
 		return qp.post(readReqBytes, &wire{
 			kind: OpRead, srcQPN: qp.qpn, dstQPN: qp.remoteQPN,
-			wrid: wr.WRID, remoteMR: wr.RemoteMR, size: wr.Size, signaled: wr.Signaled,
+			wrid: wr.WRID, remoteMR: wr.RemoteMR, remoteOff: wr.RemoteOff,
+			size: wr.Size, signaled: wr.Signaled,
 		})
 	}
 	out := qp.post(wr.Size, &wire{
@@ -462,6 +508,10 @@ func (d *Device) deliver(m *simnet.Message) {
 			panic(fmt.Sprintf("verbs: READ of invalid MR %d on %s", w.remoteMR, d.node.Name()))
 		}
 		payload, plen := mr.payload, mr.plen
+		if mr.segments != nil {
+			seg := mr.segments[w.remoteOff]
+			payload, plen = seg.v, seg.n
+		}
 		if w.size > 0 && w.size < plen {
 			plen = w.size
 		}
