@@ -29,12 +29,13 @@ smoke:
 
 # The robustness gate: fault-injection, cold-restart recovery, bounded
 # admission under overload, the chaos-soak invariant checker, the
-# replication durability sweep, and the server-bypass read-path
-# comparison, all at smoke scale. Also covered by the full `smoke` run;
-# kept as an explicit target so failures name the robustness suite
+# replication durability sweep, the server-bypass read-path comparison,
+# and the hot-key fan-out flash crowd (including its fan-out-under-kills
+# history cell), all at smoke scale. Also covered by the full `smoke`
+# run; kept as an explicit target so failures name the robustness suite
 # directly.
 robustness:
-	$(GO) run ./cmd/mc-bench -smoke faults recovery overload chaos replication bypass
+	$(GO) run ./cmd/mc-bench -smoke faults recovery overload chaos replication bypass hotkey
 
 # The pre-merge gate: static analysis, the full suite under the race
 # detector (plus the robustness packages at -count=2), the robustness

@@ -35,6 +35,7 @@ var Registry = []Experiment{
 	{"chaos", "Chaos soak: faults + crashes + overload under the history invariant checker", chaosExp},
 	{"replication", "Primary-backup replication: acked-write durability under whole-node kills", replicationExp},
 	{"bypass", "Server-bypass GETs: one-sided READ vs RPC read path", bypassExp},
+	{"hotkey", "Hot-key serving: celebrity flash crowd vs replicated-read fan-out", hotkeyExp},
 }
 
 // ByID finds an experiment, or nil.

@@ -162,6 +162,12 @@ type Config struct {
 	Bypass bool
 	// BypassBuckets overrides the directory bucket count (0 = 32768).
 	BypassBuckets int
+	// HotFanout enables hot-key replicated-read fan-out on every client:
+	// GETs for server-detected hot keys round-robin across the key's
+	// replica set instead of pinning to the primary. Needs Bypass (the hot
+	// set rides the directory bootstrap) and ReplicationFactor > 1 to have
+	// any effect.
+	HotFanout bool
 }
 
 // Cluster is one assembled deployment.
@@ -292,6 +298,7 @@ func New(cfg Config) *Cluster {
 			ccfg.Replicas = repFactor
 		}
 		ccfg.Bypass = cfg.Bypass
+		ccfg.HotFanout = cfg.HotFanout
 		c := core.New(env, node, ccfg)
 		for _, srv := range cl.Servers {
 			if cfg.Design.Transport() == core.RDMA {

@@ -23,13 +23,21 @@ import (
 //	probe     — otherwise two READs: the key's directory slot, then the
 //	            value segment it names, validated digest+version.
 //
-// Any validation failure — empty or mismatched slot, odd (mid-mutation)
-// version, SSD-resident flag, version skew between slot and segment,
-// expiry — falls back to the ordinary RPC GET, so a racing SET, eviction,
-// or crash can never produce a torn or stale-after-ack value: it produces
-// a fallback. Bypass READs consume no flow-control credits (they are not
-// requests the server must buffer), and their completions arrive on the
-// connection's otherwise-idle send CQ, drained by a dedicated demux engine.
+// Validation failures split two ways. Definitive ones — empty slot,
+// foreign digest, SSD-resident flag, expiry — mean one-sided resolution
+// cannot succeed and fall back to the ordinary RPC GET immediately.
+// Transient ones — an odd (mid-mutation) seqlock version, version skew
+// between slot and segment, a segment superseded between the two READs —
+// mean a writer was mid-flight: the resolver re-probes the slot (RFP-style
+// self-verifying read) within a small budget before surrendering to RPC,
+// since the mutation window is hundreds of nanoseconds while the fallback
+// costs a full server round trip. Either way a racing SET, eviction, or
+// crash can never produce a torn or stale-after-ack value. Bypass READs
+// consume no flow-control credits (they are not requests the server must
+// buffer); concurrent resolvers' READs are swept into a single
+// doorbell-batched post by the connection's read engine, and completions
+// arrive on the otherwise-idle send CQ, drained by a dedicated demux
+// engine.
 
 // ReadPath selects how a GET is resolved; see WithReadPath.
 type ReadPath int
@@ -71,6 +79,15 @@ const (
 	bypassReadTimeout = 100 * sim.Microsecond
 )
 
+// Re-probe budgets: how many transient seqlock doubts a resolver retries
+// before falling back to RPC. Hot keys get a bigger budget — they are both
+// the likeliest to be mid-mutation (every writer wants them too) and the
+// most expensive to bounce to a server already melting under their load.
+const (
+	bypassProbeRetries    = 1
+	bypassHotProbeRetries = 3
+)
+
 // Directory bootstrap states, per connection.
 const (
 	dirUnknown = iota // never asked, or last ask failed retryably
@@ -96,7 +113,22 @@ func (c *Client) bypassEligible(op Op, o *issueOpts) bool {
 	if op.Code != protocol.OpGet || c.cfg.Transport != RDMA || !c.cfg.Bypass {
 		return false
 	}
-	return o.readPath != ReadRPC
+	switch o.readPath {
+	case ReadRPC:
+		return false
+	case ReadBypass:
+		return true
+	}
+	// One-sided READs never touch the server CPU, so its hot-key sketch is
+	// blind to bypass read heat. Route a fixed 1-in-hotSampleEvery sample of
+	// auto-path GETs through RPC: the sketch sees an unbiased thumbnail of
+	// the read distribution at a bounded dispatch cost.
+	c.hotSampleSeq++
+	if c.hotSampleSeq%hotSampleEvery == 0 {
+		c.Faults.Inc(metrics.CHotSamples)
+		return false
+	}
+	return true
 }
 
 // spawnBypass runs the resolution as its own process so Issue keeps
@@ -140,36 +172,78 @@ func (c *Client) resolveBypass(p *sim.Proc, req *Req, force bool) bool {
 		delete(cn.locs, req.Key) // superseded: the cached location is dead
 	}
 
-	// Probe path: slot READ, then the segment it names.
+	// Probe path: slot READ, then the segment it names. Transient doubts
+	// (a writer mid-flight in the seqlock window) re-probe within the
+	// budget; definitive ones surrender to RPC immediately.
+	budget := bypassProbeRetries
+	if c.isHot(digest) {
+		budget = bypassHotProbeRetries
+	}
+	for attempt := 0; ; attempt++ {
+		switch c.probeOnce(p, req, digest) {
+		case probeResolved:
+			return true
+		case probeFallback:
+			return false
+		}
+		if attempt >= budget {
+			return false
+		}
+		c.Faults.Inc(metrics.CBypassReprobes)
+	}
+}
+
+// probeOnce outcomes.
+type probeOutcome int
+
+const (
+	probeResolved  probeOutcome = iota // request completed (bypass, or raced done)
+	probeFallback                      // definitive: one-sided resolution impossible
+	probeTransient                     // mutation window observed: worth re-probing
+)
+
+// probeOnce runs one slot+segment probe round for req.
+func (c *Client) probeOnce(p *sim.Proc, req *Req, digest uint64) probeOutcome {
+	cn := req.conn
 	b := int64(digest % uint64(cn.dir.Buckets))
 	comp, ok := cn.postRead(p, cn.dir.DirMR, b*protocol.DirSlotBytes, protocol.DirSlotBytes)
 	if req.done.Fired() {
-		return true
+		return probeResolved
 	}
-	if !ok || comp.Bytes == 0 {
-		return false // empty slot, or READ wedged
+	if !ok {
+		return probeFallback // READ wedged: let the guarded RPC path cope
+	}
+	if comp.Bytes == 0 {
+		return probeFallback // empty slot: the key is not published
 	}
 	slot, isSlot := comp.Payload.(protocol.DirSlot)
-	if !isSlot || slot.Digest != digest || slot.Version%2 == 1 || slot.SSD || slot.Off < 0 {
-		// Foreign or colliding key, mutation in progress, or SSD-resident:
-		// all resolve via RPC.
-		return false
+	if !isSlot || slot.Digest != digest || slot.SSD {
+		// Foreign or colliding key, or SSD-resident: resolve via RPC.
+		return probeFallback
+	}
+	if slot.Version%2 == 1 || slot.Off < 0 {
+		return probeTransient // seqlock held: a publish is in flight
 	}
 	comp, ok = cn.postRead(p, cn.dir.ValMR, slot.Off, slot.Len)
 	if req.done.Fired() {
-		return true
+		return probeResolved
 	}
-	if !ok || comp.Bytes == 0 {
-		return false // segment superseded between the two READs
+	if !ok {
+		return probeFallback
+	}
+	if comp.Bytes == 0 {
+		return probeTransient // segment superseded between the two READs
 	}
 	seg, isSeg := comp.Payload.(protocol.DirSegment)
-	if !isSeg || seg.Digest != digest || seg.Version != slot.Version ||
-		segExpired(seg.ExpireAt, c.env.Now()) {
-		return false
+	if !isSeg || seg.Digest != digest || seg.Version != slot.Version {
+		return probeTransient // torn against a racing republish
+	}
+	if segExpired(seg.ExpireAt, c.env.Now()) {
+		return probeFallback
 	}
 	cn.locs[req.Key] = locEntry{off: slot.Off, n: slot.Len}
 	c.completeBypass(p, req, &seg, false)
-	return true
+	return probeResolved
 }
 
 func segExpired(expireAt int64, now sim.Time) bool {
@@ -261,19 +335,21 @@ func (c *Client) bootstrapDir(p *sim.Proc, cn *conn, force bool) bool {
 	}
 	cn.dir = info
 	cn.dirState = dirReady
+	c.noteHot(cn, info)
 	return true
 }
 
-// postRead posts one signaled one-sided READ and blocks until its
-// completion arrives via the demux engine. No flow-control credit is
-// consumed: the server never buffers anything for a READ.
+// postRead hands one signaled one-sided READ to the connection's read
+// engine and blocks until its completion arrives via the demux engine. No
+// flow-control credit is consumed: the server never buffers anything for a
+// READ.
 func (cn *conn) postRead(p *sim.Proc, mr int, off int64, n int) (verbs.Completion, bool) {
 	c := cn.c
 	c.nextID++
 	id := c.nextID
 	w := &readWait{ev: c.env.NewEvent()}
 	cn.readWaits[id] = w
-	cn.qp.PostSend(p, verbs.SendWR{
+	cn.readq.TryPut(verbs.SendWR{
 		WRID: id, Op: verbs.OpRead, Size: n,
 		RemoteMR: mr, RemoteOff: off, Signaled: true,
 	})
@@ -282,6 +358,32 @@ func (cn *conn) postRead(p *sim.Proc, mr int, off int64, n int) (verbs.Completio
 		return verbs.Completion{}, false
 	}
 	return w.comp, true
+}
+
+// readEngine sweeps queued bypass READs onto the QP: a lone READ posts as
+// before (one doorbell), but when concurrent resolvers — a zipf read burst
+// probing co-resident hot slots — have stacked a backlog, the whole window
+// posts as one linked WR chain under a single doorbell, reusing the
+// doorbell-batching idea the TX engine applies to request frames.
+func (cn *conn) readEngine(p *sim.Proc) {
+	c := cn.c
+	for {
+		wr, ok := cn.readq.Get(p)
+		if !ok {
+			return
+		}
+		wrs := append(make([]verbs.SendWR, 0, 4), wr)
+		for len(wrs) < MaxBatchOps {
+			next, ok := cn.readq.TryGet()
+			if !ok {
+				break
+			}
+			wrs = append(wrs, next)
+		}
+		c.Faults.Inc(metrics.CBypassReadDoorbells)
+		c.Faults.Add(string(metrics.CBypassReads), int64(len(wrs)))
+		cn.qp.PostSendList(p, wrs)
+	}
 }
 
 // bypassEngine demultiplexes READ completions from the connection's send

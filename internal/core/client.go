@@ -104,6 +104,15 @@ type Config struct {
 	// a directory attached (server.Extensions.BypassDirectory). Zero value
 	// = every GET takes the request/response path, exactly as before.
 	Bypass bool
+	// HotFanout routes GETs for server-detected hot keys across the key's
+	// full replica set (round-robin, breaker-aware) instead of pinning them
+	// to the primary, spreading a celebrity key over R servers. The hot-key
+	// set piggybacks on the OpDirQuery bootstrap and is refreshed
+	// periodically from issue activity; requires Bypass (the transport for
+	// the hot set) and Replicas > 1 to have any effect. Safe with
+	// replication: writes ack only after every replica applied, and
+	// cold-recovered replicas withhold unconfirmed keys.
+	HotFanout bool
 }
 
 func (c *Config) fill() {
@@ -216,6 +225,15 @@ type Client struct {
 	buffering bool
 	batching  int // explicit BeginBatch/Flush window depth
 
+	// Hot-key serving state (Config.HotFanout; see hotread.go): the union
+	// of the per-connection hot sets, a round-robin cursor spreading hot
+	// GETs across replica sets, and the issue counter that paces hot-set
+	// refresh queries.
+	hot          map[uint64]struct{}
+	hotRR        uint64
+	hotGets      uint64
+	hotSampleSeq uint64 // auto-path GETs seen, for the 1-in-N RPC heat sample
+
 	// Prof accumulates the client-side stages (client wait, miss penalty
 	// is recorded by the workload driver).
 	Prof *metrics.Breakdown
@@ -251,6 +269,11 @@ type ClientStats struct {
 	BreakerOpen, BreakerHalfOpen, BreakerClose, BreakerReroutes int64
 	// Server-bypass read path.
 	BypassHits, BypassFastPath, BypassFallbacks, BypassBootstraps int64
+	// Hot-key serving: seqlock re-probes that avoided an RPC fallback,
+	// one-sided READs posted vs the doorbells they cost after coalescing,
+	// hot GETs fanned out across replica sets, and hot-set refreshes.
+	BypassReprobes, BypassReads, BypassReadDoorbells int64
+	HotFanouts, HotRefreshes, HotSamples             int64
 }
 
 // Stats snapshots the client's counters.
@@ -273,6 +296,10 @@ func (c *Client) Stats() ClientStats {
 		BreakerClose: f.Val(metrics.CBreakerClose), BreakerReroutes: f.Val(metrics.CBreakerReroutes),
 		BypassHits: f.Val(metrics.CBypassHits), BypassFastPath: f.Val(metrics.CBypassFastPath),
 		BypassFallbacks: f.Val(metrics.CBypassFallbacks), BypassBootstraps: f.Val(metrics.CBypassBootstraps),
+		BypassReprobes: f.Val(metrics.CBypassReprobes), BypassReads: f.Val(metrics.CBypassReads),
+		BypassReadDoorbells: f.Val(metrics.CBypassReadDoorbells),
+		HotFanouts:          f.Val(metrics.CHotFanouts), HotRefreshes: f.Val(metrics.CHotRefreshes),
+		HotSamples:          f.Val(metrics.CHotSamples),
 	}
 }
 
@@ -304,6 +331,14 @@ type conn struct {
 	dirFetch  *sim.Event
 	readWaits map[uint64]*readWait
 	locs      map[string]locEntry
+	// readq feeds the READ-coalescing engine: concurrent resolvers enqueue
+	// WRs here and the engine sweeps the backlog under one doorbell.
+	readq *sim.Queue[verbs.SendWR]
+	// Hot-key state: this server's published hot set and version, and the
+	// single-flight latch for in-progress refresh queries.
+	hotSet     []uint64
+	hotVersion uint64
+	hotRefresh bool
 }
 
 // New creates a client on node. Connections are added with ConnectRDMA or
@@ -377,7 +412,9 @@ func (c *Client) ConnectRDMA(srv RDMAServer) {
 	if c.cfg.Bypass {
 		cn.readWaits = make(map[uint64]*readWait)
 		cn.locs = make(map[string]locEntry)
+		cn.readq = sim.NewQueue[verbs.SendWR](c.env, 0)
 		c.env.Spawn(name+"/bypass", cn.bypassEngine)
+		c.env.Spawn(name+"/reads", cn.readEngine)
 	}
 }
 

@@ -128,7 +128,15 @@ func (c *Client) Issue(p *sim.Proc, op Op, opts ...IssueOption) (*Req, error) {
 	for _, fn := range opts {
 		fn(&o)
 	}
-	cn := c.pick(op.Key)
+	var cn *conn
+	if op.Code == protocol.OpGet {
+		// GETs for server-detected hot keys fan out across the replica set
+		// (see hotread.go); cold keys route exactly as pick does.
+		cn = c.pickGet(op.Key)
+		c.maybeRefreshHot(cn)
+	} else {
+		cn = c.pick(op.Key)
+	}
 	p.Sleep(c.cfg.PrepCost)
 	req := c.newReq(op.Code, op.Key, cn)
 	req.txValueSize = op.ValueSize

@@ -253,6 +253,14 @@ const (
 	CBypassFastPath   Counter = "bypass-fastpath"   // hits resolved by a single cached-location READ
 	CBypassFallbacks  Counter = "bypass-fallbacks"  // bypass attempts that fell back to RPC
 	CBypassBootstraps Counter = "bypass-bootstraps" // OpDirQuery directory fetches
+
+	// Hot-key serving counters.
+	CBypassReprobes      Counter = "bypass-reprobes"       // transient seqlock doubts re-probed instead of RPC fallback
+	CBypassReads         Counter = "bypass-reads"          // one-sided READs posted by the bypass path
+	CBypassReadDoorbells Counter = "bypass-read-doorbells" // doorbells those READs cost after coalescing
+	CHotFanouts          Counter = "hot-fanouts"           // hot-key GETs routed across the replica set
+	CHotRefreshes        Counter = "hot-refreshes"         // piggybacked hot-set refresh queries
+	CHotSamples          Counter = "hot-samples"           // GETs routed via RPC to feed the server's heat sketch
 )
 
 // Counters is a named-counter bag for fault, retry, and availability

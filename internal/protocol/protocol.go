@@ -246,9 +246,11 @@ const (
 	// READ carries alongside the value bytes: digest (8) + version (8) +
 	// size (4) + flags (4) + CAS (8) + expiry (8).
 	DirSegHeaderBytes = 40
-	// DirInfoBytes is the OpDirQuery response body: directory MR key (8) +
-	// value MR key (8) + bucket count (8).
-	DirInfoBytes = 24
+	// DirInfoBytes is the fixed OpDirQuery response body: directory MR key
+	// (8) + value MR key (8) + bucket count (8) + hot-set version (8) +
+	// hot-set count (8). The hot-key digests follow at 8 bytes each; use
+	// DirectoryInfo.WireSize for the full payload.
+	DirInfoBytes = 40
 )
 
 // DirSlotSSD in DirSlot.Flags marks a value whose authoritative copy lives
@@ -257,12 +259,24 @@ const (
 const DirSlotSSD uint32 = 1
 
 // DirectoryInfo is the OpDirQuery response payload: where the directory
-// lives and how it is shaped.
+// lives, how it is shaped, and — piggybacked on the same bootstrap — the
+// server's currently published hot-key set, so clients learn which keys
+// merit replicated-read fan-out without a dedicated control channel.
 type DirectoryInfo struct {
 	DirMR   int // rkey of the slot-array MR
 	ValMR   int // rkey of the offset-addressed value MR
 	Buckets int // slot count; bucket(key) = KeyDigest(key) % Buckets
+
+	// Hot is the server's published hot-key digest set (sorted), and
+	// HotVersion its monotone publication version: a client replaces its
+	// cached set whenever the version moves.
+	Hot        []uint64
+	HotVersion uint64
 }
+
+// WireSize returns the OpDirQuery response payload size: the fixed header
+// plus one digest per published hot key.
+func (i *DirectoryInfo) WireSize() int { return DirInfoBytes + 8*len(i.Hot) }
 
 // DirSlot is the client-side decode of one directory slot READ.
 type DirSlot struct {

@@ -582,13 +582,15 @@ func (s *Server) dispatchOne(p *sim.Proc, conn *rdmaConn, req *protocol.Request)
 	}
 	if req.Op == protocol.OpDirQuery {
 		// Bypass bootstrap: answer with the directory geometry inline —
-		// this is control-plane work, never queued behind storage.
+		// this is control-plane work, never queued behind storage. The
+		// store's published hot-key set piggybacks on the same payload.
 		resp := &protocol.Response{Op: protocol.OpResponse, ReqID: req.ReqID}
 		if s.bypass != nil {
 			info := s.bypass.Info()
+			info.Hot, info.HotVersion = s.st.HotSnapshot()
 			resp.Status = protocol.StatusOK
 			resp.Value = &info
-			resp.ValueSize = protocol.DirInfoBytes
+			resp.ValueSize = info.WireSize()
 		} else {
 			resp.Status = protocol.StatusNotFound
 		}

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"errors"
+
 	"hybridkv/internal/hybridslab"
 	"hybridkv/internal/sim"
 )
@@ -13,13 +15,19 @@ import (
 // crawlItemCost is the CPU cost to examine one item during a crawl pass.
 const crawlItemCost = 100 * sim.Nanosecond
 
+// ErrCrawlerRunning is returned by StartCrawler when a crawler is already
+// active on this store.
+var ErrCrawlerRunning = errors.New("store: crawler already running")
+
 // StartCrawler launches the LRU crawler: every interval it examines up to
-// batch items per recency list and reclaims the expired ones. Call
-// StopCrawler to terminate it (the simulation's Run drains only after all
-// periodic processes stop).
-func (s *Store) StartCrawler(interval sim.Time, batch int) {
+// batch items per recency list and reclaims the expired ones, then distills
+// the hot-key sketch into the published hot set. Call StopCrawler to
+// terminate it (the simulation's Run drains only after all periodic
+// processes stop). A second start while one is running returns
+// ErrCrawlerRunning.
+func (s *Store) StartCrawler(interval sim.Time, batch int) error {
 	if s.crawlerStop != nil {
-		panic("store: crawler already running")
+		return ErrCrawlerRunning
 	}
 	if interval <= 0 {
 		interval = sim.Second
@@ -37,6 +45,7 @@ func (s *Store) StartCrawler(interval sim.Time, batch int) {
 			s.crawlOnce(p, batch)
 		}
 	})
+	return nil
 }
 
 // StopCrawler terminates the crawler after its current pass.
@@ -73,4 +82,8 @@ func (s *Store) crawlOnce(p *sim.Proc, batch int) {
 		s.Expired++
 		s.CrawlerReclaimed++
 	}
+	// The crawler doubles as the hot-set publisher: each pass distills the
+	// access sketch into the digests clients receive on their next
+	// directory query, then ages the sketch so the set tracks recent load.
+	s.refreshHotSet()
 }

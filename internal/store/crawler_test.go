@@ -76,16 +76,22 @@ func TestCrawlerStopTerminatesRun(t *testing.T) {
 	env.Run()
 }
 
-func TestDoubleStartCrawlerPanics(t *testing.T) {
+func TestDoubleStartCrawlerErrors(t *testing.T) {
 	env := sim.NewEnv()
 	s := newStore(env, 16<<20, false)
-	s.StartCrawler(sim.Second, 10)
-	defer func() {
-		recover()
-		s.StopCrawler()
-	}()
-	s.StartCrawler(sim.Second, 10)
-	t.Errorf("double StartCrawler did not panic")
+	if err := s.StartCrawler(sim.Second, 10); err != nil {
+		t.Fatalf("first StartCrawler: %v", err)
+	}
+	if err := s.StartCrawler(sim.Second, 10); err != ErrCrawlerRunning {
+		t.Errorf("double StartCrawler returned %v, want ErrCrawlerRunning", err)
+	}
+	s.StopCrawler()
+	// Stopping clears the condition: a restart succeeds again.
+	if err := s.StartCrawler(sim.Second, 10); err != nil {
+		t.Errorf("restart after stop: %v", err)
+	}
+	s.StopCrawler()
+	env.Run()
 }
 
 func TestStatsSnapshot(t *testing.T) {

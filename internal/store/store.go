@@ -43,6 +43,14 @@ type Store struct {
 	cas   uint64
 	view  ReadView
 
+	// Hot-key detection: the access path feeds the space-saving sketch
+	// (zero simulated cost — the real counterpart is a few arithmetic ops
+	// folded into the hash probe), and the crawler distills it into the
+	// published hot set served to clients on OpDirQuery.
+	hot        *hotSketch
+	hotSet     []uint64
+	hotVersion uint64
+
 	// Prof accumulates the server-side stage breakdown.
 	Prof *metrics.Breakdown
 
@@ -62,6 +70,7 @@ func New(env *sim.Env, mgr *hybridslab.Manager) *Store {
 		env:   env,
 		mgr:   mgr,
 		table: make(map[string]*hybridslab.Item),
+		hot:   newHotSketch(hotSketchCap),
 		Prof:  metrics.NewBreakdown(),
 	}
 }
@@ -245,6 +254,7 @@ func (s *Store) Set(p *sim.Proc, key string, valueSize int, value any, flags uin
 // StatusNotFound.
 func (s *Store) Get(p *sim.Proc, key string) (value any, size int, flags uint32, cas uint64, status protocol.Status) {
 	s.GetOps++
+	s.hot.Touch(key)
 
 	// Stage 2: cache check and load (may read from SSD).
 	t0 := p.Now()

@@ -367,6 +367,28 @@ func (qp *QP) PostSend(p *sim.Proc, wr SendWR) {
 	qp.start(wr)
 }
 
+// PostSendList posts a chain of send-queue WRs under a single doorbell —
+// the verbs linked-WR idiom batching multi-GET READ windows: the caller
+// pays one MMIO write regardless of chain length, and the HCA walks the
+// list asynchronously.
+func (qp *QP) PostSendList(p *sim.Proc, wrs []SendWR) {
+	if !qp.connected {
+		panic("verbs: PostSendList on unconnected QP")
+	}
+	if len(wrs) == 0 {
+		return
+	}
+	for _, wr := range wrs {
+		if wr.Inline && wr.Size > MaxInline {
+			panic(fmt.Sprintf("verbs: inline send of %d bytes exceeds MaxInline", wr.Size))
+		}
+	}
+	p.Sleep(doorbellCost)
+	for _, wr := range wrs {
+		qp.start(wr)
+	}
+}
+
 // PostSendSetup posts without charging time; for simulation setup.
 func (qp *QP) PostSendSetup(wr SendWR) { qp.start(wr) }
 

@@ -47,6 +47,9 @@ type OpKind int
 const (
 	OpGet OpKind = iota
 	OpSet
+	// OpScan is a short range read of consecutive keys (YCSB workload E);
+	// drawn only by NextScan.
+	OpScan
 )
 
 // Config describes one workload.
@@ -69,6 +72,9 @@ type Config struct {
 	// the keyspace (YCSB D inserts). Keys then counts the preloaded
 	// prefix; the generator tracks growth.
 	GrowOnWrite bool
+	// ScanMax bounds the scan length drawn by NextScan (uniform in
+	// [1, ScanMax]; default 100, YCSB E's maxscanlength).
+	ScanMax int
 }
 
 // Generator produces a deterministic operation stream.
@@ -172,13 +178,33 @@ func (g *Generator) Next() (OpKind, string) {
 	if g.rng.Float64() < g.cfg.ReadFraction {
 		return OpGet, g.Key(g.nextIndex())
 	}
+	return OpSet, g.Key(g.nextWrite())
+}
+
+// NextScan draws one operation from a scan mix (YCSB workload E): the read
+// share becomes OpScan with a start key and a length uniform in
+// [1, ScanMax]; the write share is the same insert/update draw as Next.
+// For OpGet/OpSet results the length is 1.
+func (g *Generator) NextScan() (kind OpKind, key string, scanLen int) {
+	if g.rng.Float64() < g.cfg.ReadFraction {
+		max := g.cfg.ScanMax
+		if max <= 0 {
+			max = 100
+		}
+		return OpScan, g.Key(g.nextIndex()), 1 + g.rng.Intn(max)
+	}
+	return OpSet, g.Key(g.nextWrite()), 1
+}
+
+// nextWrite draws the target index of one write: a fresh appended key
+// under GrowOnWrite (inserts), otherwise a distribution draw (updates).
+func (g *Generator) nextWrite() int {
 	if g.cfg.GrowOnWrite {
-		// Insert: a brand-new key appended past the current high mark.
 		idx := g.high
 		g.high++
-		return OpSet, g.Key(idx)
+		return idx
 	}
-	return OpSet, g.Key(g.nextIndex())
+	return g.nextIndex()
 }
 
 // High returns the current keyspace size (> Keys once GrowOnWrite inserts

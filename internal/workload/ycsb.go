@@ -10,9 +10,12 @@ import "fmt"
 //	B  read-mostly    95/5 read/update, zipfian
 //	C  read-only      100% read, zipfian
 //	D  read-latest    95/5 read/insert, latest distribution
+//	E  short-scans    95/5 scan/insert, zipfian start keys
 //	F  read-mod-write 50/50 read/RMW, zipfian
 //
-// Workload E (short scans) has no memcached equivalent and is not offered.
+// Workload E's scans map onto consecutive multi-GETs of the canonical key
+// space (drivers draw them with Generator.NextScan); ScanMax carries
+// YCSB's maxscanlength (100).
 type YCSB byte
 
 const (
@@ -20,6 +23,7 @@ const (
 	YCSBB YCSB = 'B'
 	YCSBC YCSB = 'C'
 	YCSBD YCSB = 'D'
+	YCSBE YCSB = 'E'
 	YCSBF YCSB = 'F'
 )
 
@@ -39,11 +43,15 @@ func YCSBConfig(w YCSB, keys, valueSize int, seed int64) (cfg Config, readModify
 	case YCSBD:
 		base.ReadFraction, base.Pattern = 0.95, Latest
 		base.GrowOnWrite = true
+	case YCSBE:
+		base.ReadFraction, base.Pattern = 0.95, Zipf
+		base.GrowOnWrite = true
+		base.ScanMax = 100
 	case YCSBF:
 		base.ReadFraction, base.Pattern = 0.5, Zipf
 		return base, true, nil
 	default:
-		return Config{}, false, fmt.Errorf("workload: unknown YCSB preset %q (have A,B,C,D,F)", string(w))
+		return Config{}, false, fmt.Errorf("workload: unknown YCSB preset %q (have A,B,C,D,E,F)", string(w))
 	}
 	return base, false, nil
 }

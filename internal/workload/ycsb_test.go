@@ -8,17 +8,19 @@ import (
 
 func TestYCSBPresets(t *testing.T) {
 	cases := []struct {
-		w    YCSB
-		read float64
-		pat  Pattern
-		grow bool
-		rmw  bool
+		w       YCSB
+		read    float64
+		pat     Pattern
+		grow    bool
+		rmw     bool
+		scanMax int
 	}{
-		{YCSBA, 0.5, Zipf, false, false},
-		{YCSBB, 0.95, Zipf, false, false},
-		{YCSBC, 1.0, Zipf, false, false},
-		{YCSBD, 0.95, Latest, true, false},
-		{YCSBF, 0.5, Zipf, false, true},
+		{YCSBA, 0.5, Zipf, false, false, 0},
+		{YCSBB, 0.95, Zipf, false, false, 0},
+		{YCSBC, 1.0, Zipf, false, false, 0},
+		{YCSBD, 0.95, Latest, true, false, 0},
+		{YCSBE, 0.95, Zipf, true, false, 100},
+		{YCSBF, 0.5, Zipf, false, true, 0},
 	}
 	for _, c := range cases {
 		cfg, rmw, err := YCSBConfig(c.w, 1000, 4096, 1)
@@ -26,18 +28,66 @@ func TestYCSBPresets(t *testing.T) {
 			t.Fatalf("%s: %v", YCSBName(c.w), err)
 		}
 		if cfg.ReadFraction != c.read || cfg.Pattern != c.pat ||
-			cfg.GrowOnWrite != c.grow || rmw != c.rmw {
+			cfg.GrowOnWrite != c.grow || rmw != c.rmw || cfg.ScanMax != c.scanMax {
 			t.Errorf("%s: cfg=%+v rmw=%v", YCSBName(c.w), cfg, rmw)
 		}
 		if cfg.Keys != 1000 || cfg.ValueSize != 4096 {
 			t.Errorf("%s: size knobs not threaded", YCSBName(c.w))
 		}
 	}
-	if _, _, err := YCSBConfig('E', 10, 10, 1); err == nil {
-		t.Errorf("YCSB E accepted; scans are unsupported")
-	}
 	if _, _, err := YCSBConfig('Z', 10, 10, 1); err == nil {
 		t.Errorf("unknown preset accepted")
+	}
+}
+
+// TestYCSBOpMixes pins each preset's realized operation mix over a long
+// draw: the read (or scan) share must land on the preset's nominal mix.
+func TestYCSBOpMixes(t *testing.T) {
+	const n = 20000
+	cases := []struct {
+		w    YCSB
+		read float64
+	}{
+		{YCSBA, 0.5}, {YCSBB, 0.95}, {YCSBC, 1.0},
+		{YCSBD, 0.95}, {YCSBE, 0.95}, {YCSBF, 0.5},
+	}
+	for _, c := range cases {
+		cfg, _, err := YCSBConfig(c.w, 1000, 128, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", YCSBName(c.w), err)
+		}
+		g := New(cfg)
+		reads, writes, scans := 0, 0, 0
+		for i := 0; i < n; i++ {
+			var kind OpKind
+			if c.w == YCSBE {
+				var ln int
+				kind, _, ln = g.NextScan()
+				if kind == OpScan && (ln < 1 || ln > cfg.ScanMax) {
+					t.Fatalf("%s: scan length %d outside [1,%d]", YCSBName(c.w), ln, cfg.ScanMax)
+				}
+			} else {
+				kind, _ = g.Next()
+			}
+			switch kind {
+			case OpGet:
+				reads++
+			case OpScan:
+				scans++
+			case OpSet:
+				writes++
+			}
+		}
+		got := float64(reads+scans) / n
+		if math.Abs(got-c.read) > 0.02 {
+			t.Errorf("%s: read/scan share %.3f, want %.2f±0.02", YCSBName(c.w), got, c.read)
+		}
+		if c.w == YCSBE && scans == 0 {
+			t.Errorf("YCSB-E drew no scans")
+		}
+		if c.read < 1 && writes == 0 {
+			t.Errorf("%s: mixed preset drew no writes", YCSBName(c.w))
+		}
 	}
 }
 
