@@ -30,12 +30,13 @@ smoke:
 # The robustness gate: fault-injection, cold-restart recovery, bounded
 # admission under overload, the chaos-soak invariant checker, the
 # replication durability sweep, the server-bypass read-path comparison,
-# and the hot-key fan-out flash crowd (including its fan-out-under-kills
-# history cell), all at smoke scale. Also covered by the full `smoke`
-# run; kept as an explicit target so failures name the robustness suite
-# directly.
+# the hot-key fan-out flash crowd (including its fan-out-under-kills
+# history cell), and the dynamic-membership churn (joins, a
+# kill-during-migration, a decommission under the zero-loss checker),
+# all at smoke scale. Also covered by the full `smoke` run; kept as an
+# explicit target so failures name the robustness suite directly.
 robustness:
-	$(GO) run ./cmd/mc-bench -smoke faults recovery overload chaos replication bypass hotkey
+	$(GO) run ./cmd/mc-bench -smoke faults recovery overload chaos replication bypass hotkey membership
 
 # The pre-merge gate: static analysis, the full suite under the race
 # detector (plus the robustness packages at -count=2), the robustness

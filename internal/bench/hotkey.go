@@ -238,10 +238,10 @@ func runHotChaos(rounds int) (log *history.Log, fanouts int64) {
 				c.Wait(p, req)
 			}
 		}
-		seed(256)                        // heat the sketch (and trip one refresh)
-		p.Sleep(2 * hotCrawl)            // let a crawl pass publish the set
-		seed(256)                        // the refresh this trips learns it
-		p.Sleep(50 * sim.Microsecond)    // let the refresh response land
+		seed(256)                     // heat the sketch (and trip one refresh)
+		p.Sleep(2 * hotCrawl)         // let a crawl pass publish the set
+		seed(256)                     // the refresh this trips learns it
+		p.Sleep(50 * sim.Microsecond) // let the refresh response land
 		warm.Fire()
 	})
 

@@ -36,6 +36,7 @@ var Registry = []Experiment{
 	{"replication", "Primary-backup replication: acked-write durability under whole-node kills", replicationExp},
 	{"bypass", "Server-bypass GETs: one-sided READ vs RPC read path", bypassExp},
 	{"hotkey", "Hot-key serving: celebrity flash crowd vs replicated-read fan-out", hotkeyExp},
+	{"membership", "Dynamic membership: join/decommission under chaos and the scaling sweep", membershipExp},
 }
 
 // ByID finds an experiment, or nil.

@@ -31,6 +31,11 @@ var snapshotExpectations = map[string][]string{
 		"fanout_speedup_r3", "fanout.R3.goodput_kops", "bypass.R3.goodput_kops",
 		"chaos.violations", "fanout.R3.fanouts",
 	},
+	"membership": {
+		"chaos.lost_acked", "chaos.moved_keys", "chaos.violations",
+		"chaos.rebalances", "scale.R2.N3.kops", "scale.R2.N9.kops",
+		"scale.R2.monotonic",
+	},
 }
 
 func TestCommittedSnapshotsParse(t *testing.T) {

@@ -187,6 +187,16 @@ type Cluster struct {
 	// Directories holds one published read directory per server when
 	// Config.Bypass is set (nil otherwise).
 	Directories []*store.Directory
+	// Membership is the shared epoch-versioned membership state machine
+	// behind Join/Leave/Decommission (nil when ReplicationFactor <= 1: a
+	// fleet that cannot re-replicate data has no safe way to reshard).
+	Membership *replication.Membership
+
+	// Construction parameters retained so Join can build late servers
+	// identically to the originals.
+	cfg       Config
+	repFactor int
+	pcPar     pagecache.Params
 }
 
 // New builds and starts a deployment.
@@ -223,40 +233,10 @@ func New(cfg Config) *Cluster {
 		pcPar.DirtyHighPages = pages / 4
 		pcPar.ThrottlePages = pages / 2
 	}
+	cl.cfg = cfg
+	cl.pcPar = pcPar
 	for i := 0; i < cfg.Servers; i++ {
-		node := fab.AddNode(fmt.Sprintf("server%d", i))
-		var file *pagecache.File
-		if cfg.Design.Hybrid() {
-			arena := cfg.SSDCapacity
-			if arena <= 0 {
-				arena = 16 << 30
-			}
-			dev := blockdev.New(env, cfg.Profile.SSD, 2*arena)
-			cache := pagecache.New(env, dev, pcPar)
-			file = cache.OpenFile(0, 2*arena)
-			cl.Devices = append(cl.Devices, dev)
-			cl.Caches = append(cl.Caches, cache)
-		}
-		mgr := hybridslab.New(env, hybridslab.Config{
-			Slab:           slab.Config{MemLimit: cfg.ServerMem, PageSize: cfg.SlabPageSize},
-			Policy:         cfg.Design.Policy(),
-			AdaptiveCutoff: cfg.AdaptiveCutoff,
-			SSDCapacity:    cfg.SSDCapacity,
-			AsyncFlush:     cfg.AsyncFlush,
-		}, file)
-		st := store.New(env, mgr)
-		scfg := server.Config{
-			Pipeline:       cfg.Design.Pipeline(),
-			StorageWorkers: cfg.StorageWorkers,
-			BufferBytes:    cfg.BufferBytes,
-			Overload:       cfg.Overload,
-		}
-		var srv *server.Server
-		if cfg.Design.Transport() == core.RDMA {
-			srv = server.NewRDMA(env, node, st, scfg)
-		} else {
-			srv = server.NewIPoIB(env, node, st, scfg)
-		}
+		srv := cl.buildServer(i)
 		srv.Start()
 		cl.Servers = append(cl.Servers, srv)
 	}
@@ -264,17 +244,20 @@ func New(cfg Config) *Cluster {
 	if repFactor > cfg.Servers {
 		repFactor = cfg.Servers
 	}
+	cl.repFactor = repFactor
 	if repFactor > 1 {
 		if cfg.Design.Transport() != core.RDMA {
 			panic("cluster: ReplicationFactor > 1 requires an RDMA design")
 		}
-		ring := replication.NewRing()
-		for i := range cl.Servers {
-			ring.Add(i)
+		ids := make([]int, len(cl.Servers))
+		for i := range ids {
+			ids[i] = i
 		}
+		cl.Membership = replication.NewMembership(env, repFactor, ids)
 		for i, srv := range cl.Servers {
 			repl := replication.New(env, replication.Config{ID: i, Factor: repFactor},
-				ring, srv.Store(), srv.Device())
+				cl.Membership.Ring(), srv.Store(), srv.Device())
+			repl.SetMembership(cl.Membership)
 			srv.Attach(server.Extensions{Replicator: repl})
 			cl.Replicators = append(cl.Replicators, repl)
 		}
@@ -285,9 +268,7 @@ func New(cfg Config) *Cluster {
 			panic("cluster: Bypass requires an RDMA design")
 		}
 		for _, srv := range cl.Servers {
-			d := store.NewDirectory(srv.Device().AllocPD(), cfg.BypassBuckets)
-			srv.Attach(server.Extensions{BypassDirectory: d})
-			cl.Directories = append(cl.Directories, d)
+			cl.attachDirectory(srv)
 		}
 	}
 	for i := 0; i < cfg.Clients; i++ {
@@ -296,6 +277,7 @@ func New(cfg Config) *Cluster {
 		ccfg.Transport = cfg.Design.Transport()
 		if repFactor > 1 {
 			ccfg.Replicas = repFactor
+			ccfg.Membership = cl.Membership
 		}
 		ccfg.Bypass = cfg.Bypass
 		ccfg.HotFanout = cfg.HotFanout
@@ -310,6 +292,52 @@ func New(cfg Config) *Cluster {
 		cl.Clients = append(cl.Clients, c)
 	}
 	return cl
+}
+
+// buildServer assembles one server node (SSD, page cache, hybrid slab,
+// store, server) exactly as New does for the initial fleet; Join reuses it
+// for late arrivals. The caller starts the server and appends it to
+// cl.Servers.
+func (cl *Cluster) buildServer(i int) *server.Server {
+	cfg, env := cl.cfg, cl.Env
+	node := cl.Fabric.AddNode(fmt.Sprintf("server%d", i))
+	var file *pagecache.File
+	if cfg.Design.Hybrid() {
+		arena := cfg.SSDCapacity
+		if arena <= 0 {
+			arena = 16 << 30
+		}
+		dev := blockdev.New(env, cfg.Profile.SSD, 2*arena)
+		cache := pagecache.New(env, dev, cl.pcPar)
+		file = cache.OpenFile(0, 2*arena)
+		cl.Devices = append(cl.Devices, dev)
+		cl.Caches = append(cl.Caches, cache)
+	}
+	mgr := hybridslab.New(env, hybridslab.Config{
+		Slab:           slab.Config{MemLimit: cfg.ServerMem, PageSize: cfg.SlabPageSize},
+		Policy:         cfg.Design.Policy(),
+		AdaptiveCutoff: cfg.AdaptiveCutoff,
+		SSDCapacity:    cfg.SSDCapacity,
+		AsyncFlush:     cfg.AsyncFlush,
+	}, file)
+	st := store.New(env, mgr)
+	scfg := server.Config{
+		Pipeline:       cfg.Design.Pipeline(),
+		StorageWorkers: cfg.StorageWorkers,
+		BufferBytes:    cfg.BufferBytes,
+		Overload:       cfg.Overload,
+	}
+	if cfg.Design.Transport() == core.RDMA {
+		return server.NewRDMA(env, node, st, scfg)
+	}
+	return server.NewIPoIB(env, node, st, scfg)
+}
+
+// attachDirectory publishes a bypass read directory on srv.
+func (cl *Cluster) attachDirectory(srv *server.Server) {
+	d := store.NewDirectory(srv.Device().AllocPD(), cl.cfg.BypassBuckets)
+	srv.Attach(server.Extensions{BypassDirectory: d})
+	cl.Directories = append(cl.Directories, d)
 }
 
 // Preload stores n keys of valueSize bytes through client 0 using blocking

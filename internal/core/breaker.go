@@ -121,8 +121,11 @@ func (cn *conn) noteFailure() {
 	}
 }
 
-// allows reports whether cn accepts new traffic (no breaker, or breaker
-// lets it through).
+// allows reports whether cn accepts new traffic: not retired, and no
+// breaker (or the breaker lets it through).
 func (cn *conn) allows() bool {
+	if cn.retired {
+		return false
+	}
 	return cn.brk == nil || cn.brk.allow()
 }

@@ -335,8 +335,25 @@ func (c *Client) bootstrapDir(p *sim.Proc, cn *conn, force bool) bool {
 	}
 	cn.dir = info
 	cn.dirState = dirReady
+	c.noteMemberEpoch(cn, info)
 	c.noteHot(cn, info)
 	return true
+}
+
+// noteMemberEpoch applies a directory answer's membership epoch: seeing it
+// advance past what this connection last observed invalidates the location
+// cache — placement learned under an older epoch must not steer one-sided
+// READs. Clients with Config.Membership attached are normally invalidated
+// by the subscription first; this is the wire-observable fallback.
+func (c *Client) noteMemberEpoch(cn *conn, info *protocol.DirectoryInfo) {
+	if info.MemberEpoch <= cn.memEpoch {
+		return
+	}
+	cn.memEpoch = info.MemberEpoch
+	if cn.locs != nil && len(cn.locs) > 0 {
+		cn.locs = make(map[string]locEntry)
+	}
+	c.Faults.Inc(metrics.CEpochInvalidations)
 }
 
 // postRead hands one signaled one-sided READ to the connection's read

@@ -49,6 +49,7 @@ import (
 
 	"hybridkv/internal/metrics"
 	"hybridkv/internal/protocol"
+	"hybridkv/internal/replication"
 	"hybridkv/internal/sim"
 	"hybridkv/internal/simnet"
 	"hybridkv/internal/verbs"
@@ -113,6 +114,15 @@ type Config struct {
 	// replication: writes ack only after every replica applied, and
 	// cold-recovered replicas withhold unconfirmed keys.
 	HotFanout bool
+	// Membership attaches the cluster's dynamic membership state machine
+	// (nil for static fleets: routing is byte-identical to before). With it
+	// set, replica-set routing goes through the shared epoch-versioned view
+	// — during a migration that is the union of the old and new rings, so
+	// failover can still reach an old owner holding a mid-handoff key — and
+	// every epoch change invalidates the client's bypass location caches
+	// and hot sets (a one-sided READ must never hit a moved key's stale
+	// slot on the strength of a pre-transition cache).
+	Membership *replication.Membership
 }
 
 func (c *Config) fill() {
@@ -259,10 +269,10 @@ type ClientStats struct {
 	Issued, Completed       int64
 	Sends, Frames, FrameOps int64
 	// Recovery machinery.
-	Retries, Timeouts, Cancels            int64
+	Retries, Timeouts, Cancels             int64
 	Failovers, FailoverSkips, AckedRetries int64
-	Hedges, HedgesSuppressed              int64
-	StaleResponses                        int64
+	Hedges, HedgesSuppressed               int64
+	StaleResponses                         int64
 	// Server rejections.
 	Busy, Recovering, NoReplica int64
 	// Circuit breakers.
@@ -282,9 +292,9 @@ func (c *Client) Stats() ClientStats {
 	return ClientStats{
 		Issued: c.Issued, Completed: c.Completed,
 		Sends: c.Sends, Frames: c.Frames, FrameOps: c.FrameOps,
-		Retries:  f.Val(metrics.CRetries),
-		Timeouts: f.Val(metrics.CTimeouts),
-		Cancels:  f.Val(metrics.CCancels),
+		Retries:   f.Val(metrics.CRetries),
+		Timeouts:  f.Val(metrics.CTimeouts),
+		Cancels:   f.Val(metrics.CCancels),
 		Failovers: f.Val(metrics.CFailovers), FailoverSkips: f.Val(metrics.CFailoverSkip),
 		AckedRetries: f.Val(metrics.CAckedRetries),
 		Hedges:       f.Val(metrics.CHedges), HedgesSuppressed: f.Val(metrics.CHedgesSuppressed),
@@ -299,7 +309,7 @@ func (c *Client) Stats() ClientStats {
 		BypassReprobes: f.Val(metrics.CBypassReprobes), BypassReads: f.Val(metrics.CBypassReads),
 		BypassReadDoorbells: f.Val(metrics.CBypassReadDoorbells),
 		HotFanouts:          f.Val(metrics.CHotFanouts), HotRefreshes: f.Val(metrics.CHotRefreshes),
-		HotSamples:          f.Val(metrics.CHotSamples),
+		HotSamples: f.Val(metrics.CHotSamples),
 	}
 }
 
@@ -320,8 +330,14 @@ type conn struct {
 	stream   *verbs.Stream
 	buffered []*protocol.Request // libmemcached-style deferred Sets
 	// brk is the per-server circuit breaker (nil when Config.Breaker is
-	// zero: no state, no routing change).
+	// zero: no state, no routing change). Released on Retire.
 	brk *breaker
+	// retired marks a decommissioned server's connection: it takes no new
+	// traffic and its routing/bypass/breaker state has been released.
+	retired bool
+	// memEpoch is the last membership epoch observed on this connection's
+	// directory answers; a newer one invalidates the location cache.
+	memEpoch uint64
 	// Bypass read-path state (Config.Bypass only; see bypass.go): the
 	// bootstrapped directory geometry, the single-flight bootstrap latch,
 	// resolvers parked on READ completions, and the per-key location cache
@@ -353,7 +369,73 @@ func New(env *sim.Env, node *simnet.Node, cfg Config) *Client {
 		c.host = verbs.NewHost(node)
 	}
 	c.ring = newRing()
+	if cfg.Membership != nil {
+		// Every epoch change — transition begin and finalize — invalidates
+		// the per-connection bypass location caches and hot sets: both were
+		// computed against the old placement.
+		cfg.Membership.Subscribe(func(epoch uint64, final bool) {
+			c.invalidatePlacement(epoch)
+		})
+	}
 	return c
+}
+
+// replicas returns key's routing replica set: the membership's epoch-aware
+// union when dynamic, the client's static ring otherwise.
+func (c *Client) replicas(key string) []int {
+	if c.cfg.Membership != nil {
+		return c.cfg.Membership.ReplicaSet(key, c.cfg.Replicas)
+	}
+	return c.ring.Replicas(key, c.cfg.Replicas)
+}
+
+// invalidatePlacement drops every placement-derived cache: per-connection
+// bypass location entries and hot sets, plus the hot union. Directory
+// geometry (MR keys, bucket counts) stays — it is a server property, not a
+// placement one, and the seqlock validation path catches individual slots
+// that move afterwards.
+func (c *Client) invalidatePlacement(epoch uint64) {
+	for _, cn := range c.conns {
+		if cn.memEpoch >= epoch {
+			continue
+		}
+		cn.memEpoch = epoch
+		if cn.locs != nil && len(cn.locs) > 0 {
+			cn.locs = make(map[string]locEntry)
+		}
+		cn.hotSet, cn.hotVersion = nil, 0
+	}
+	c.rebuildHot()
+	c.Faults.Inc(metrics.CEpochInvalidations)
+}
+
+// Retire releases every piece of client state held for a decommissioned
+// server: the connection stops taking traffic, and its circuit breaker,
+// bypass directory/location cache, and hot-set contribution are dropped —
+// none of them may outlive the node they describe. The engines stay parked
+// on their queues; a retired connection simply never gets new work.
+func (c *Client) Retire(serverID int) {
+	if serverID < 0 || serverID >= len(c.conns) {
+		return
+	}
+	cn := c.conns[serverID]
+	if cn.retired {
+		return
+	}
+	cn.retired = true
+	cn.brk = nil
+	cn.dir, cn.dirState = nil, dirNone
+	if cn.locs != nil {
+		cn.locs = make(map[string]locEntry)
+	}
+	cn.hotSet, cn.hotVersion = nil, 0
+	c.rebuildHot()
+	if c.cfg.Membership == nil {
+		// Static-ring client: take the server out of routing ourselves (a
+		// membership-backed client already routes via the shared rings).
+		c.ring.Remove(serverID)
+	}
+	c.Faults.Inc(metrics.CRetiredConns)
 }
 
 // Env returns the simulation environment.
@@ -397,6 +479,11 @@ func (c *Client) ConnectRDMA(srv RDMAServer) {
 	}
 	if c.cfg.Breaker.Threshold > 0 {
 		cn.brk = newBreaker(c, c.cfg.Breaker)
+	}
+	if c.cfg.Membership != nil {
+		// Seed with the current epoch: learning it from the first directory
+		// answer is bootstrap, not an invalidation.
+		cn.memEpoch = c.cfg.Membership.Epoch()
 	}
 	srv.AcceptQP(qp)
 	// The client consumes one local receive per inbound WRITE_IMM; keep a
@@ -448,7 +535,7 @@ func (c *Client) pick(key string) *conn {
 		panic("core: no server connections")
 	}
 	if c.cfg.Replicas > 1 {
-		set := c.ring.Replicas(key, c.cfg.Replicas)
+		set := c.replicas(key)
 		cn := c.conns[set[0]]
 		if cn.allows() {
 			return cn

@@ -40,6 +40,13 @@ func (c *Client) noteHot(cn *conn, info *protocol.DirectoryInfo) {
 	}
 	cn.hotSet = info.Hot
 	cn.hotVersion = info.HotVersion
+	c.rebuildHot()
+}
+
+// rebuildHot recomputes the hot-set union from the per-connection sets.
+// Sets shrink as keys cool (and vanish on retire/epoch invalidation), so
+// the union is rebuilt from scratch rather than accumulated.
+func (c *Client) rebuildHot() {
 	union := make(map[uint64]struct{})
 	for _, other := range c.conns {
 		for _, d := range other.hotSet {
@@ -65,7 +72,7 @@ func (c *Client) pickGet(key string) *conn {
 	if !c.cfg.HotFanout || c.cfg.Replicas <= 1 || !c.isHot(protocol.KeyDigest(key)) {
 		return c.pick(key)
 	}
-	set := c.ring.Replicas(key, c.cfg.Replicas)
+	set := c.replicas(key)
 	start := int(c.hotRR % uint64(len(set)))
 	c.hotRR++
 	for i := 0; i < len(set); i++ {
@@ -109,6 +116,7 @@ func (c *Client) maybeRefreshHot(cn *conn) {
 		}
 		if info, ok := qreq.Value.(*protocol.DirectoryInfo); ok {
 			cn.dir = info
+			c.noteMemberEpoch(cn, info)
 			c.noteHot(cn, info)
 		}
 	})

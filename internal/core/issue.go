@@ -403,7 +403,7 @@ func (c *Client) spawnGuard(req *Req, o issueOpts) {
 func (c *Client) failoverNext(cur *conn, key string) *conn {
 	var cand []*conn
 	if c.cfg.Replicas > 1 {
-		set := c.ring.Replicas(key, c.cfg.Replicas)
+		set := c.replicas(key)
 		if len(set) < 2 {
 			return cur
 		}

@@ -25,6 +25,12 @@
 //   - liveness: every operation the driver issued must complete (the
 //     guards bound every op, so a missing entry means a wedged process —
 //     virtual time stopped advancing for it).
+//   - rebalance-stuck: every membership rebalance the driver started must
+//     have finalized by the end of the run. Crucially, rebalance windows
+//     are NOT excuse windows: stale-read, acked-write-lost, and the other
+//     safety rules are checked right through them, which is how the
+//     checker proves a live reshard loses no acked write and serves no
+//     stale read. Only real crash windows excuse anything.
 //
 // Sequence numbers are the checker's logical clock: chaos writers embed a
 // per-key monotonically increasing Seq in each value and chain writes
@@ -102,6 +108,13 @@ func (v Violation) String() string {
 type Log struct {
 	Entries []Entry
 	Crashes []Window
+	// Rebalances are the membership transitions (join/leave/decommission)
+	// the driver ran, recorded as [begin, finalize] intervals. They are
+	// deliberately not consulted by any excuse path: the safety rules hold
+	// through a rebalance exactly as they do in steady state. A window whose
+	// To is zero means the transition never finalized — flagged by Check as
+	// rebalance-stuck.
+	Rebalances []Window
 	// Expected is the number of operations the driver issued; fewer
 	// recorded entries fail the liveness check.
 	Expected int
@@ -134,6 +147,12 @@ func (l *Log) CrashWindow(from, to sim.Time) {
 	l.Crashes = append(l.Crashes, Window{From: from, To: to})
 }
 
+// RebalanceWindow marks [from, to] as a membership rebalance interval.
+// Record to == 0 for a rebalance that never finalized; Check flags it.
+func (l *Log) RebalanceWindow(from, to sim.Time) {
+	l.Rebalances = append(l.Rebalances, Window{From: from, To: to})
+}
+
 // crashed reports whether any crash window intersects [from, to].
 func (l *Log) crashed(from, to sim.Time) bool {
 	for _, w := range l.Crashes {
@@ -153,6 +172,16 @@ func (l *Log) Check() []Violation {
 			Detail: fmt.Sprintf("%d of %d expected operations never completed — wedged process, virtual time stopped advancing for it",
 				l.Expected-len(l.Entries), l.Expected),
 		})
+	}
+
+	for i, w := range l.Rebalances {
+		if w.To == 0 || w.To < w.From {
+			out = append(out, Violation{
+				Rule: "rebalance-stuck",
+				Detail: fmt.Sprintf("rebalance %d began at %v and never finalized — migration wedged with the double-read window open",
+					i, w.From),
+			})
+		}
 	}
 
 	writes := map[string][]*Entry{}

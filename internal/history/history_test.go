@@ -109,6 +109,40 @@ func TestReplicatedModeDropsStaleReadCrashExcuse(t *testing.T) {
 	}
 }
 
+// TestRebalanceWindows: a finalized rebalance is clean; an unfinished one
+// is rebalance-stuck; and a rebalance window never excuses a stale read —
+// the same anomaly a crash window forgives stays a violation inside a
+// rebalance, which is exactly the zero-loss claim the checker proves.
+func TestRebalanceWindows(t *testing.T) {
+	l := &Log{}
+	l.RebalanceWindow(us(10), us(20))
+	if vs := l.Check(); len(vs) != 0 {
+		t.Fatalf("finalized rebalance flagged: %v", vs)
+	}
+
+	l.RebalanceWindow(us(30), 0)
+	got := rules(l.Check())
+	if got["rebalance-stuck"] != 1 {
+		t.Errorf("unfinished rebalance not detected: %v", got)
+	}
+
+	// Stale read entirely inside a rebalance window: still a violation.
+	l2 := &Log{Replicated: true}
+	l2.RebalanceWindow(us(10), us(40))
+	l2.Record(Entry{Kind: Write, Key: "k", Seq: 1, OK: true, IssuedAt: us(11), CompletedAt: us(12)})
+	l2.Record(Entry{Kind: Write, Key: "k", Seq: 2, OK: true, IssuedAt: us(15), CompletedAt: us(16)})
+	l2.Record(Entry{Kind: Read, Key: "k", Seq: 1, Hit: true, OK: true, IssuedAt: us(20), CompletedAt: us(21)})
+	// Acked write lost mid-rebalance with no crash: also still a violation.
+	l2.Record(Entry{Kind: Write, Key: "a", Seq: 1, OK: false, Acked: true, IssuedAt: us(25), CompletedAt: us(26)})
+	got = rules(l2.Check())
+	if got["stale-read"] != 1 {
+		t.Errorf("rebalance window excused a stale read: %v", got)
+	}
+	if got["acked-write-lost"] != 1 {
+		t.Errorf("rebalance window excused a lost acked write: %v", got)
+	}
+}
+
 // TestFutureReadNotExcusedByCrash: corruption is never excused — a crash
 // cannot invent a value nobody wrote.
 func TestFutureReadNotExcusedByCrash(t *testing.T) {

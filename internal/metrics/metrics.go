@@ -225,13 +225,13 @@ type Counter string
 
 const (
 	// Retry/guard counters.
-	CRetries      Counter = "retries"       // guard retransmissions
-	CTimeouts     Counter = "timeouts"      // attempts abandoned at the deadline
-	CCancels      Counter = "cancels"       // caller-initiated cancellations
-	CFailovers    Counter = "failovers"     // retransmissions redirected to a replica
+	CRetries      Counter = "retries"        // guard retransmissions
+	CTimeouts     Counter = "timeouts"       // attempts abandoned at the deadline
+	CCancels      Counter = "cancels"        // caller-initiated cancellations
+	CFailovers    Counter = "failovers"      // retransmissions redirected to a replica
 	CFailoverSkip Counter = "failover-skips" // failover candidates skipped (down/open)
-	CAckedRetries Counter = "acked-retries" // retransmits of already-buffer-acked reqs
-	CHedges       Counter = "hedges"        // hedge attempts actually spawned
+	CAckedRetries Counter = "acked-retries"  // retransmits of already-buffer-acked reqs
+	CHedges       Counter = "hedges"         // hedge attempts actually spawned
 	// CHedgesSuppressed counts hedges skipped because the request had
 	// already been resolved by the bypass fast path; see WithHedge.
 	CHedgesSuppressed Counter = "hedges-suppressed"
@@ -261,6 +261,10 @@ const (
 	CHotFanouts          Counter = "hot-fanouts"           // hot-key GETs routed across the replica set
 	CHotRefreshes        Counter = "hot-refreshes"         // piggybacked hot-set refresh queries
 	CHotSamples          Counter = "hot-samples"           // GETs routed via RPC to feed the server's heat sketch
+
+	// Dynamic membership counters.
+	CEpochInvalidations Counter = "epoch-invalidations" // placement caches dropped on a membership epoch change
+	CRetiredConns       Counter = "retired-conns"       // decommissioned servers whose client state was released
 )
 
 // Counters is a named-counter bag for fault, retry, and availability

@@ -248,9 +248,9 @@ const (
 	DirSegHeaderBytes = 40
 	// DirInfoBytes is the fixed OpDirQuery response body: directory MR key
 	// (8) + value MR key (8) + bucket count (8) + hot-set version (8) +
-	// hot-set count (8). The hot-key digests follow at 8 bytes each; use
-	// DirectoryInfo.WireSize for the full payload.
-	DirInfoBytes = 40
+	// hot-set count (8) + membership epoch (8). The hot-key digests follow
+	// at 8 bytes each; use DirectoryInfo.WireSize for the full payload.
+	DirInfoBytes = 48
 )
 
 // DirSlotSSD in DirSlot.Flags marks a value whose authoritative copy lives
@@ -272,6 +272,12 @@ type DirectoryInfo struct {
 	// cached set whenever the version moves.
 	Hot        []uint64
 	HotVersion uint64
+
+	// MemberEpoch is the server's membership epoch (0 on static fleets).
+	// A client seeing it advance drops its location cache for the
+	// connection: placement learned under an older epoch is unusable for
+	// one-sided READs.
+	MemberEpoch uint64
 }
 
 // WireSize returns the OpDirQuery response payload size: the fixed header

@@ -24,6 +24,15 @@ const (
 	// frameDiff answers a digest with the receiver's entries for every
 	// bucket that differed.
 	frameDiff
+	// frameSegPull asks an old-epoch owner for a manifest of one hash-space
+	// segment: every key the sender owns under the new ring that the
+	// receiver holds confirmed. Sent (and re-sent) by the migration engine.
+	frameSegPull
+	// frameSegManifest answers a segment pull with (key, epoch) entries;
+	// the requester compares against local state and issues framePulls for
+	// whatever it lacks. An empty manifest still counts the source as
+	// answered.
+	frameSegManifest
 )
 
 // KeyEpoch is one digest-diff entry.
@@ -53,7 +62,9 @@ type frame struct {
 	Expire    uint32
 
 	Buckets []uint64   // frameDigest: digest; frameDiff: differing bucket ids
-	Entries []KeyEpoch // frameDiff
+	Entries []KeyEpoch // frameDiff, frameSegManifest
+
+	Seg int // frameSegPull/frameSegManifest: hash-space segment id
 }
 
 // frameHeaderBytes is the modeled fixed overhead of one replication frame

@@ -170,6 +170,13 @@ type Replicator struct {
 	scrubWake *sim.Event
 	scrubLeft int
 
+	// Dynamic membership (nil for static fleets): the shared epoch state
+	// machine, the migrator's park event, and the per-segment pull state of
+	// the in-flight transition (see migrate.go).
+	mem      *Membership
+	memWake  *sim.Event
+	migPulls map[int]*segPull
+
 	// Counters: forwards, forward-resends, epoch-conflicts, repair-pushes,
 	// repair-pulls, stale-reads-prevented, suspect-drops, pull-confirms.
 	Counters *metrics.Counters
@@ -185,6 +192,7 @@ func New(env *sim.Env, cfg Config, ring *Ring, st *store.Store, dev *verbs.Devic
 		qpByQPN:  make(map[int]*verbs.QP),
 		keys:     make(map[string]*keyState),
 		fwds:     make(map[uint64]*Forward),
+		migPulls: make(map[int]*segPull),
 		Counters: metrics.NewCounters(),
 	}
 }
@@ -203,38 +211,70 @@ func (r *Replicator) isDown() bool { return r.down != nil && r.down() }
 // Interconnect creates the pairwise QPs between every replicator over their
 // servers' devices, pre-posts receive pools, and starts each engine and
 // scrubber. Call once after all replicators are constructed, before the
-// simulation runs.
+// simulation runs. Servers added later join the running mesh via Join.
 func Interconnect(repls []*Replicator) {
 	for _, r := range repls {
-		r.sendCQ = r.dev.CreateCQ(0)
-		r.recvCQ = r.dev.CreateCQ(0)
+		r.initCQs()
 	}
 	for i := 0; i < len(repls); i++ {
 		for j := i + 1; j < len(repls); j++ {
-			a, b := repls[i], repls[j]
-			qa := a.dev.CreateQP(a.sendCQ, a.recvCQ)
-			qb := b.dev.CreateQP(b.sendCQ, b.recvCQ)
-			verbs.Connect(qa, qb)
-			for n := 0; n < recvDepth; n++ {
-				qa.PostRecv(verbs.RecvWR{})
-				qb.PostRecv(verbs.RecvWR{})
-			}
-			a.peers[b.cfg.ID] = &peerLink{id: b.cfg.ID, qp: qa}
-			b.peers[a.cfg.ID] = &peerLink{id: a.cfg.ID, qp: qb}
-			a.qpByQPN[qa.QPN()] = qa
-			b.qpByQPN[qb.QPN()] = qb
+			link(repls[i], repls[j])
 		}
 	}
 	for _, r := range repls {
-		r.peerIDs = r.peerIDs[:0]
-		for id := range r.peers {
-			r.peerIDs = append(r.peerIDs, id)
-		}
-		sort.Ints(r.peerIDs)
-		rr := r
-		r.env.Spawn("repl-engine", func(p *sim.Proc) { rr.engine(p) })
-		r.env.Spawn("repl-scrub", func(p *sim.Proc) { rr.scrubber(p) })
+		r.start()
 	}
+}
+
+// Join wires a freshly constructed replicator into a running mesh: pairwise
+// QPs to every existing replicator, then engine start for the newcomer.
+// The existing engines pick the new peer up on their next send — peer maps
+// are re-read on every round, never snapshotted.
+func Join(existing []*Replicator, nr *Replicator) {
+	nr.initCQs()
+	for _, r := range existing {
+		link(r, nr)
+	}
+	nr.start()
+}
+
+func (r *Replicator) initCQs() {
+	r.sendCQ = r.dev.CreateCQ(0)
+	r.recvCQ = r.dev.CreateCQ(0)
+}
+
+// link connects one replicator pair: a QP on each side, pre-posted receive
+// pools, and refreshed peer id lists.
+func link(a, b *Replicator) {
+	qa := a.dev.CreateQP(a.sendCQ, a.recvCQ)
+	qb := b.dev.CreateQP(b.sendCQ, b.recvCQ)
+	verbs.Connect(qa, qb)
+	for n := 0; n < recvDepth; n++ {
+		qa.PostRecv(verbs.RecvWR{})
+		qb.PostRecv(verbs.RecvWR{})
+	}
+	a.peers[b.cfg.ID] = &peerLink{id: b.cfg.ID, qp: qa}
+	b.peers[a.cfg.ID] = &peerLink{id: a.cfg.ID, qp: qb}
+	a.qpByQPN[qa.QPN()] = qa
+	b.qpByQPN[qb.QPN()] = qb
+	a.refreshPeerIDs()
+	b.refreshPeerIDs()
+}
+
+func (r *Replicator) refreshPeerIDs() {
+	ids := make([]int, 0, len(r.peers))
+	for id := range r.peers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	r.peerIDs = ids
+}
+
+func (r *Replicator) start() {
+	rr := r
+	r.env.Spawn("repl-engine", func(p *sim.Proc) { rr.engine(p) })
+	r.env.Spawn("repl-scrub", func(p *sim.Proc) { rr.scrubber(p) })
+	r.env.Spawn("repl-migrate", func(p *sim.Proc) { rr.migrator(p) })
 }
 
 // scrubBurst is how many digest rounds one kick arms. Repair writes that
@@ -270,9 +310,12 @@ func (r *Replicator) state(key string) *keyState {
 
 // replicaPeers returns the key's replica set minus self (sorted ascending,
 // which Replicas already guarantees per-position; we re-sort for send
-// determinism) and whether self is a member.
+// determinism) and whether self is a member. With a membership attached
+// the set is the union of the old and new rings while a migration is in
+// flight, so forwards dual-apply and no interleaving with sealing can
+// lose an acked write.
 func (r *Replicator) replicaPeers(key string) (peers []int, member bool) {
-	set := r.ring.Replicas(key, r.cfg.Factor)
+	set := r.replicaSet(key)
 	for _, id := range set {
 		if id == r.cfg.ID {
 			member = true
@@ -447,6 +490,7 @@ func (r *Replicator) applyLocalWrite(p *sim.Proc, req *protocol.Request, fwd *Fo
 		if resp.Status == protocol.StatusDeleted || resp.Status == protocol.StatusNotFound {
 			ks.epoch, ks.del, ks.suspect = fwd.epoch, true, false
 			r.kick()
+			r.migSatisfy(req.Key, ks.epoch)
 		}
 		return resp
 	}
@@ -454,6 +498,7 @@ func (r *Replicator) applyLocalWrite(p *sim.Proc, req *protocol.Request, fwd *Fo
 	if resp.Status == protocol.StatusStored {
 		ks.epoch, ks.del, ks.suspect = fwd.epoch, false, false
 		r.kick()
+		r.migSatisfy(req.Key, ks.epoch)
 	}
 	return resp
 }
@@ -525,6 +570,7 @@ func (r *Replicator) recoordinate(p *sim.Proc, fwd *Forward) {
 			ks.epoch, ks.del, ks.suspect = fwd.epoch, false, false
 		}
 		r.kick()
+		r.migSatisfy(fwd.key, ks.epoch)
 	}
 	if len(fwd.waiting) == 0 {
 		fwd.done.Fire()
@@ -543,6 +589,17 @@ func (r *Replicator) executeGet(p *sim.Proc, req *protocol.Request) *protocol.Re
 		// authoritative, so the only honest answer is a miss.
 		resp.Status = protocol.StatusNotFound
 		return resp
+	}
+	if r.mem != nil && r.mem.NeedsDoubleRead(r.cfg.ID, req.Key) {
+		// Double-read window: this server is gaining the key and has not
+		// sealed its segment, so a local miss proves nothing. Consult the
+		// old owners; if none answers in time, fail retryable — the client
+		// fails over to an old owner rather than eat a fabricated miss.
+		if !r.doubleRead(p, req.Key) {
+			r.Counters.Add("migrate-read-redirects", 1)
+			resp.Status = protocol.StatusRecovering
+			return resp
+		}
 	}
 	ks := r.keys[req.Key]
 	if ks != nil && ks.suspect {
@@ -583,6 +640,15 @@ func (r *Replicator) executeRMW(p *sim.Proc, req *protocol.Request) *protocol.Re
 		resp.Status = protocol.StatusRecovering
 		return resp
 	}
+	if r.mem != nil && r.mem.NeedsDoubleRead(r.cfg.ID, req.Key) {
+		// Deciding an RMW before the old owners were consulted could decide
+		// against a phantom miss; confirm first, else fail retryable.
+		if !r.doubleRead(p, req.Key) {
+			r.Counters.Add("migrate-read-redirects", 1)
+			resp.Status = protocol.StatusRecovering
+			return resp
+		}
+	}
 	ks := r.keys[req.Key]
 	if ks != nil && ks.suspect {
 		if !r.syncPull(p, req.Key, ks, peers) {
@@ -614,6 +680,7 @@ func (r *Replicator) executeRMW(p *sim.Proc, req *protocol.Request) *protocol.Re
 		ks := r.state(req.Key)
 		ks.epoch, ks.del, ks.suspect = fwd.epoch, false, false
 		r.kick()
+		r.migSatisfy(req.Key, ks.epoch)
 	}
 	if !r.await(p, fwd) {
 		resp.Status = protocol.StatusNoReplica
@@ -674,10 +741,13 @@ func (r *Replicator) syncPull(p *sim.Proc, key string, ks *keyState, peers []int
 }
 
 // Wipe models whole-node RAM loss: every epoch record, open forward, and
-// pending pull dies with the node. Called by Server.Kill.
+// pending pull — including per-segment migration state — dies with the
+// node. Called by Server.Kill. The migrator re-installs its segment state
+// on its next retry round and re-pulls whatever the wipe destroyed.
 func (r *Replicator) Wipe() {
 	r.keys = make(map[string]*keyState)
 	r.fwds = make(map[uint64]*Forward)
+	r.migPulls = make(map[int]*segPull)
 }
 
 // OnColdRecovery marks every cold-recovered key suspect: the SSD resurrects
@@ -730,6 +800,10 @@ func (r *Replicator) handle(p *sim.Proc, f *frame) {
 		r.handleDigest(p, f)
 	case frameDiff:
 		r.handleDiff(p, f)
+	case frameSegPull:
+		r.handleSegPull(p, f)
+	case frameSegManifest:
+		r.handleSegManifest(p, f)
 	}
 }
 
@@ -764,6 +838,7 @@ func (r *Replicator) handleWrite(p *sim.Proc, f *frame) {
 	}
 	ks.epoch, ks.del, ks.suspect = f.Epoch, f.Del, false
 	r.kick()
+	r.migSatisfy(f.Key, ks.epoch)
 	if ks.pull != nil {
 		// An open suspect pull is satisfied by any confirmed write.
 		ks.pull.Fire()
@@ -830,6 +905,9 @@ func (r *Replicator) pushKey(p *sim.Proc, pid int, key string, ks *keyState) boo
 // when every peer missed, the local recovered value is dropped — a miss is
 // legal, resurrecting an unconfirmable value is not.
 func (r *Replicator) handlePullMiss(p *sim.Proc, f *frame) {
+	// An open migration want is bookkept independently of the suspect pull:
+	// the same framePull serves both, so a miss answers both.
+	r.migPullMissed(f.Key, f.From)
 	ks := r.keys[f.Key]
 	if ks == nil || ks.pull == nil || !ks.pullFrom[f.From] {
 		// No open pull, or this peer already answered: the fault injector

@@ -73,6 +73,27 @@ func (r *Ring) Add(serverID int) {
 	r.dirty = true
 }
 
+// Clone returns an independent copy of the ring. Membership transitions
+// clone the current ring and Add/Remove on the copy, so the previous
+// epoch's ring stays intact for the double-read window.
+func (r *Ring) Clone() *Ring {
+	return &Ring{points: append([]ringPoint(nil), r.points...), dirty: r.dirty}
+}
+
+// Members returns the distinct server ids on the ring, sorted ascending.
+func (r *Ring) Members() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, pt := range r.points {
+		if !seen[pt.serverID] {
+			seen[pt.serverID] = true
+			out = append(out, pt.serverID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // Remove drops a server's virtual nodes.
 func (r *Ring) Remove(serverID int) {
 	out := r.points[:0]

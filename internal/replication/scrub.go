@@ -27,9 +27,11 @@ func digestEntry(key string, epoch uint64, del bool) uint64 {
 }
 
 // sharedWith reports whether key is replicated on both this server and pid.
+// During a migration the union replica set applies, so digests also cover
+// keys mid-handoff between an old and a new owner.
 func (r *Replicator) sharedWith(pid int, key string) bool {
 	both := 0
-	for _, id := range r.ring.Replicas(key, r.cfg.Factor) {
+	for _, id := range r.replicaSet(key) {
 		if id == r.cfg.ID || id == pid {
 			both++
 		}

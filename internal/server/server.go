@@ -588,6 +588,9 @@ func (s *Server) dispatchOne(p *sim.Proc, conn *rdmaConn, req *protocol.Request)
 		if s.bypass != nil {
 			info := s.bypass.Info()
 			info.Hot, info.HotVersion = s.st.HotSnapshot()
+			if s.repl != nil {
+				info.MemberEpoch = s.repl.MembershipEpoch()
+			}
 			resp.Status = protocol.StatusOK
 			resp.Value = &info
 			resp.ValueSize = info.WireSize()

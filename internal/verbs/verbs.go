@@ -341,9 +341,9 @@ func (qp *QP) RecvDepth() int { return len(qp.recvQ) }
 
 // wire is the fabric payload for verbs traffic.
 type wire struct {
-	kind     Op
-	srcQPN   int
-	dstQPN   int
+	kind      Op
+	srcQPN    int
+	dstQPN    int
 	wrid      uint64 // requester's WRID (for READ responses)
 	payload   any
 	size      int
