@@ -33,10 +33,12 @@ smoke:
 # the hot-key fan-out flash crowd (including its fan-out-under-kills
 # history cell), and the dynamic-membership churn (joins, a
 # kill-during-migration, a decommission under the zero-loss checker),
-# all at smoke scale. Also covered by the full `smoke` run; kept as an
+# and the gray-failure cells (a fail-slow node under brown-out routing,
+# background pacing, and a crash-during-brown-out failover), all at
+# smoke scale. Also covered by the full `smoke` run; kept as an
 # explicit target so failures name the robustness suite directly.
 robustness:
-	$(GO) run ./cmd/mc-bench -smoke faults recovery overload chaos replication bypass hotkey membership
+	$(GO) run ./cmd/mc-bench -smoke faults recovery overload chaos replication bypass hotkey membership grayfail
 
 # The pre-merge gate: static analysis, the full suite under the race
 # detector (plus the robustness packages at -count=2), the robustness

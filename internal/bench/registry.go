@@ -37,6 +37,7 @@ var Registry = []Experiment{
 	{"bypass", "Server-bypass GETs: one-sided READ vs RPC read path", bypassExp},
 	{"hotkey", "Hot-key serving: celebrity flash crowd vs replicated-read fan-out", hotkeyExp},
 	{"membership", "Dynamic membership: join/decommission under chaos and the scaling sweep", membershipExp},
+	{"grayfail", "Gray failure: fail-slow node, brown-out routing, background pacing", grayfailExp},
 }
 
 // ByID finds an experiment, or nil.

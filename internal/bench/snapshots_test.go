@@ -36,6 +36,11 @@ var snapshotExpectations = map[string][]string{
 		"chaos.rebalances", "scale.R2.N3.kops", "scale.R2.N9.kops",
 		"scale.R2.monotonic",
 	},
+	"grayfail": {
+		"healthy.get_p99_us", "nodefense.get_p99_us",
+		"brownout+pacing.get_p99_us", "brownout+pacing.violations",
+		"crash.violations", "crash.failovers", "p99_bound_ok",
+	},
 }
 
 func TestCommittedSnapshotsParse(t *testing.T) {

@@ -114,6 +114,12 @@ type Device struct {
 	tornRNG  *rand.Rand
 	tornProb float64
 
+	// Fail-slow injection (AddSlow): scheduled windows during which every
+	// command's service time is multiplied and floored. Purely a timing
+	// transform — no RNG, no errors — so a limping drive stays limping for
+	// exactly the scheduled interval on every replay.
+	slowWindows []SlowWindow
+
 	// Stats
 	Reads, Writes         int64
 	BytesRead, BytesWrite int64
@@ -122,6 +128,23 @@ type Device struct {
 	ReadErrors, WriteErrors int64
 	// TornWrites counts writes that persisted only a sector prefix.
 	TornWrites int64
+	// SlowedIOs counts commands stretched by a slow window.
+	SlowedIOs int64
+}
+
+// SlowWindow is one fail-slow interval: commands serviced in [From, To)
+// take Mult times their modeled service time, floored at Floor. This is
+// the SSD-side gray failure — a drive that still completes every command,
+// just slowly (media wear, thermal throttling, internal GC storms).
+type SlowWindow struct {
+	From, To sim.Time
+	// Mult multiplies the profile's service time (1.0 = no change; values
+	// below 1 are treated as 1).
+	Mult float64
+	// Floor is the minimum service time of an affected command, modeling
+	// degraded drives whose small-command latency collapses to a fixed,
+	// high per-command cost.
+	Floor sim.Time
 }
 
 type extent struct {
@@ -198,6 +221,53 @@ func (d *Device) InjectWriteError() bool {
 		return true
 	}
 	return false
+}
+
+// AddSlow schedules a fail-slow window: commands serviced in [from, to)
+// take mult× their modeled time, floored at floor. Windows may overlap;
+// the worst (longest) resulting service time wins. With no windows
+// installed the timing paths are untouched, keeping unfaulted runs
+// bit-identical.
+func (d *Device) AddSlow(from, to sim.Time, mult float64, floor sim.Time) {
+	d.slowWindows = append(d.slowWindows, SlowWindow{From: from, To: to, Mult: mult, Floor: floor})
+}
+
+// Slowed reports whether any slow window covers time at — the ground truth
+// a health-tracking experiment compares its detector against.
+func (d *Device) Slowed(at sim.Time) bool {
+	for _, w := range d.slowWindows {
+		if at >= w.From && at < w.To {
+			return true
+		}
+	}
+	return false
+}
+
+// slowTime applies the active slow windows to a modeled service time.
+func (d *Device) slowTime(at sim.Time, t sim.Time) sim.Time {
+	if len(d.slowWindows) == 0 {
+		return t
+	}
+	out := t
+	for _, w := range d.slowWindows {
+		if at < w.From || at >= w.To {
+			continue
+		}
+		st := t
+		if w.Mult > 1 {
+			st = sim.Time(float64(t) * w.Mult)
+		}
+		if st < w.Floor {
+			st = w.Floor
+		}
+		if st > out {
+			out = st
+		}
+	}
+	if out > t {
+		d.SlowedIOs++
+	}
+	return out
 }
 
 // SetTornWrites arms torn-write injection: each persisting write command
@@ -277,7 +347,7 @@ func (d *Device) DurableEnd(lo, hi int64) int64 {
 func (d *Device) WriteAt(p *sim.Proc, off int64, size int, payload any) {
 	d.check(off, size)
 	d.channels.Acquire(p)
-	t := d.prof.WriteTime(size)
+	t := d.slowTime(p.Now(), d.prof.WriteTime(size))
 	p.Sleep(t)
 	d.channels.Release()
 	d.Writes++
@@ -295,7 +365,7 @@ func (d *Device) WriteAt(p *sim.Proc, off int64, size int, payload any) {
 func (d *Device) ReadAt(p *sim.Proc, off int64, size int) (payload any, ok bool) {
 	d.check(off, size)
 	d.channels.Acquire(p)
-	t := d.prof.ReadTime(size)
+	t := d.slowTime(p.Now(), d.prof.ReadTime(size))
 	p.Sleep(t)
 	d.channels.Release()
 	d.Reads++
@@ -334,9 +404,10 @@ func (d *Device) Barrier(p *sim.Proc) {
 		return
 	}
 	d.channels.Acquire(p)
-	p.Sleep(d.prof.SyncBarrier)
+	t := d.slowTime(p.Now(), d.prof.SyncBarrier)
+	p.Sleep(t)
 	d.channels.Release()
-	d.BusyTime += d.prof.SyncBarrier
+	d.BusyTime += t
 }
 
 // ServeRaw charges the device for a command of the given kind and size
@@ -353,6 +424,7 @@ func (d *Device) ServeRaw(p *sim.Proc, write bool, size int) {
 		d.Reads++
 		d.BytesRead += int64(size)
 	}
+	t = d.slowTime(p.Now(), t)
 	p.Sleep(t)
 	d.channels.Release()
 	d.BusyTime += t

@@ -168,6 +168,11 @@ type Config struct {
 	// set rides the directory bootstrap) and ReplicationFactor > 1 to have
 	// any effect.
 	HotFanout bool
+	// Pacer throttles background replication traffic (anti-entropy scrub
+	// and migration pulls) behind a token bucket that yields to each
+	// server's foreground load. Zero value: background rounds run exactly
+	// as before. Only meaningful with ReplicationFactor > 1.
+	Pacer replication.PacerConfig
 }
 
 // Cluster is one assembled deployment.
@@ -255,7 +260,7 @@ func New(cfg Config) *Cluster {
 		}
 		cl.Membership = replication.NewMembership(env, repFactor, ids)
 		for i, srv := range cl.Servers {
-			repl := replication.New(env, replication.Config{ID: i, Factor: repFactor},
+			repl := replication.New(env, replication.Config{ID: i, Factor: repFactor, Pacer: cfg.Pacer},
 				cl.Membership.Ring(), srv.Store(), srv.Device())
 			repl.SetMembership(cl.Membership)
 			srv.Attach(server.Extensions{Replicator: repl})

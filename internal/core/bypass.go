@@ -268,6 +268,10 @@ func (c *Client) completeBypass(p *sim.Proc, req *Req, seg *protocol.DirSegment,
 		c.Faults.Inc(metrics.CBypassFastPath)
 	}
 	req.conn.noteSuccess()
+	// Bypass resolutions are their own health class: one-sided READs never
+	// touch the server CPU, so their tail degrades with the fabric and the
+	// host memory system, not the storage path.
+	c.noteServiceTime(req.conn, hcBypass, req.CompletedAt-req.IssuedAt)
 	req.done.Fire()
 	req.reusable.Fire()
 	c.Completed++
@@ -287,6 +291,15 @@ func (c *Client) bypassFallback(p *sim.Proc, req *Req) {
 		return
 	}
 	cn := req.conn
+	if !cn.readHealthy() {
+		// The resolving connection browned out (or surrendered because it
+		// is slow): fall back onto a healthy replica's RPC path instead of
+		// queueing behind the limping server, when one exists.
+		if alt := c.readAlternative(cn, req.Key); alt != nil {
+			c.Faults.Inc(metrics.CSlowRoutedGets)
+			cn = alt
+		}
+	}
 	c.nextID++
 	c.enqueueWire(req, cn, c.wireFor(req, cn, c.nextID))
 }

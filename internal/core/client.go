@@ -114,6 +114,12 @@ type Config struct {
 	// replication: writes ack only after every replica applied, and
 	// cold-recovered replicas withhold unconfirmed keys.
 	HotFanout bool
+	// Health attaches latency-aware health scoring to every connection
+	// (see HealthConfig and health.go): per-op-class service-time tracking
+	// that puts persistently slow servers in a brown-out — deprioritized
+	// for GETs while a healthy replica exists, never blocked. Zero value =
+	// no tracking, routing byte-identical to before.
+	Health HealthConfig
 	// Membership attaches the cluster's dynamic membership state machine
 	// (nil for static fleets: routing is byte-identical to before). With it
 	// set, replica-set routing goes through the shared epoch-versioned view
@@ -131,6 +137,9 @@ func (c *Config) fill() {
 	}
 	if c.PrepCost <= 0 {
 		c.PrepCost = 300 * sim.Nanosecond
+	}
+	if c.Health.Enabled {
+		c.Health.fill()
 	}
 }
 
@@ -284,6 +293,13 @@ type ClientStats struct {
 	// hot GETs fanned out across replica sets, and hot-set refreshes.
 	BypassReprobes, BypassReads, BypassReadDoorbells int64
 	HotFanouts, HotRefreshes, HotSamples             int64
+	// Gray-failure defense: service-time samples taken, brown-out state
+	// transitions, and GETs routed around a browned connection. (Pacer
+	// deferrals — the server-side half of the defense — count on the
+	// replicators' counter sets under metrics.CPacerDeferrals.)
+	HealthSamples                     int64
+	BrownoutsEntered, BrownoutsExited int64
+	SlowRoutedGets                    int64
 }
 
 // Stats snapshots the client's counters.
@@ -309,7 +325,10 @@ func (c *Client) Stats() ClientStats {
 		BypassReprobes: f.Val(metrics.CBypassReprobes), BypassReads: f.Val(metrics.CBypassReads),
 		BypassReadDoorbells: f.Val(metrics.CBypassReadDoorbells),
 		HotFanouts:          f.Val(metrics.CHotFanouts), HotRefreshes: f.Val(metrics.CHotRefreshes),
-		HotSamples: f.Val(metrics.CHotSamples),
+		HotSamples:       f.Val(metrics.CHotSamples),
+		HealthSamples:    f.Val(metrics.CHealthSamples),
+		BrownoutsEntered: f.Val(metrics.CBrownoutsEntered), BrownoutsExited: f.Val(metrics.CBrownoutsExited),
+		SlowRoutedGets: f.Val(metrics.CSlowRoutedGets),
 	}
 }
 
@@ -332,6 +351,9 @@ type conn struct {
 	// brk is the per-server circuit breaker (nil when Config.Breaker is
 	// zero: no state, no routing change). Released on Retire.
 	brk *breaker
+	// health is the latency-aware health tracker (nil when Config.Health
+	// is zero: no samples, no brown-outs). Released on Retire.
+	health *connHealth
 	// retired marks a decommissioned server's connection: it takes no new
 	// traffic and its routing/bypass/breaker state has been released.
 	retired bool
@@ -424,6 +446,7 @@ func (c *Client) Retire(serverID int) {
 	}
 	cn.retired = true
 	cn.brk = nil
+	cn.health = nil
 	cn.dir, cn.dirState = nil, dirNone
 	if cn.locs != nil {
 		cn.locs = make(map[string]locEntry)
@@ -480,6 +503,9 @@ func (c *Client) ConnectRDMA(srv RDMAServer) {
 	if c.cfg.Breaker.Threshold > 0 {
 		cn.brk = newBreaker(c, c.cfg.Breaker)
 	}
+	if c.cfg.Health.Enabled {
+		cn.health = &connHealth{}
+	}
 	if c.cfg.Membership != nil {
 		// Seed with the current epoch: learning it from the first directory
 		// answer is bootstrap, not an invalidation.
@@ -518,6 +544,9 @@ func (c *Client) ConnectIPoIB(srv IPoIBServer) {
 	cn := &conn{c: c, serverID: len(c.conns), stream: c.host.Dial(srv.Host())}
 	if c.cfg.Breaker.Threshold > 0 {
 		cn.brk = newBreaker(c, c.cfg.Breaker)
+	}
+	if c.cfg.Health.Enabled {
+		cn.health = &connHealth{}
 	}
 	c.conns = append(c.conns, cn)
 	c.ring.Add(cn.serverID)
@@ -735,7 +764,12 @@ func (c *Client) Delete(p *sim.Proc, key string) protocol.Status {
 // set, resending up to Config.RecvRetries times before failing with
 // ErrDeadlineExceeded.
 func (c *Client) ipoibRoundTrip(p *sim.Proc, op protocol.Opcode, key string, valueSize int, value any, flags, expire uint32) *Req {
-	cn := c.pick(key)
+	var cn *conn
+	if op == protocol.OpGet {
+		cn = c.pickRead(key) // brown-out aware; identical to pick when untracked
+	} else {
+		cn = c.pick(key)
+	}
 	p.Sleep(c.cfg.PrepCost)
 	req := c.newReq(op, key, cn)
 	wire := &protocol.Request{
@@ -787,6 +821,9 @@ func (c *Client) ipoibExchange(p *sim.Proc, cn *conn, req *Req, wire *protocol.R
 			continue // stale reply from an abandoned request
 		}
 		cn.noteSuccess()
+		if class, ok := classOfOp(req.Op); ok {
+			c.noteServiceTime(cn, class, p.Now()-t0)
+		}
 		p.Sleep(memcpyTime(resp.ValueSize))
 		req.Status = resp.Status
 		req.Value = resp.Value

@@ -66,15 +66,38 @@ func (c *Client) isHot(digest uint64) bool {
 }
 
 // pickGet routes one GET: hot keys on a fanout-enabled replicated client
-// spread round-robin across the key's replica set (breaker-aware, like
-// pick); everything else routes exactly as pick does.
+// spread round-robin across the key's replica set (breaker- and
+// health-aware, like pick/pickRead); everything else routes as pickRead
+// does — pick's choice, unless it is browned and a healthy replica
+// exists. With health tracking off, healthy() is uniformly true and both
+// paths are byte-identical to the pre-health client.
 func (c *Client) pickGet(key string) *conn {
 	if !c.cfg.HotFanout || c.cfg.Replicas <= 1 || !c.isHot(protocol.KeyDigest(key)) {
-		return c.pick(key)
+		return c.pickRead(key)
 	}
 	set := c.replicas(key)
 	start := int(c.hotRR % uint64(len(set)))
 	c.hotRR++
+	// First pass wants a breaker-admitted AND healthy member; a skip past
+	// an admitted-but-browned head is a slow-route, a skip past a tripped
+	// breaker is the usual reroute.
+	for i := 0; i < len(set); i++ {
+		cn := c.conns[set[(start+i)%len(set)]]
+		if cn.allows() && cn.readHealthy() {
+			if i > 0 {
+				if c.conns[set[start]].allows() {
+					c.Faults.Inc(metrics.CSlowRoutedGets)
+				} else {
+					c.Faults.Inc(metrics.CBreakerReroutes)
+				}
+			}
+			c.Faults.Inc(metrics.CHotFanouts)
+			return cn
+		}
+	}
+	// Every healthy member is breaker-blocked (or the whole set is
+	// browned): fall back to breaker-only preference — a slow replica
+	// still beats none (last-live guard).
 	for i := 0; i < len(set); i++ {
 		cn := c.conns[set[(start+i)%len(set)]]
 		if cn.allows() {

@@ -161,7 +161,9 @@ func (c *Client) Issue(p *sim.Proc, op Op, opts ...IssueOption) (*Req, error) {
 		c.spawnGuard(req, o)
 	}
 	if o.hedge > 0 && op.Code == protocol.OpGet && len(c.conns) > 1 {
-		c.spawnHedge(req, o.hedge)
+		// With health tracking live the threshold adapts to the measured
+		// healthy baseline (see hedgeAfter); otherwise it is taken as given.
+		c.spawnHedge(req, c.hedgeAfter(o.hedge))
 	}
 	// Inside an explicit batch window nothing is on the wire yet, so
 	// WithBufferAck cannot block here; the buffers become reusable after
@@ -190,7 +192,7 @@ func (c *Client) wireFor(req *Req, cn *conn, id uint64) *protocol.Request {
 // not delay recovery). It does not touch c.Issued: retransmits are
 // attempts, not operations.
 func (c *Client) enqueueWire(req *Req, cn *conn, wire *protocol.Request) *attempt {
-	att := &attempt{id: wire.ReqID, req: req, cn: cn}
+	att := &attempt{id: wire.ReqID, req: req, cn: cn, start: c.env.Now()}
 	req.cur = att
 	req.conn = cn
 	first := req.Attempts == 0
@@ -479,7 +481,8 @@ type attempt struct {
 	id             uint64
 	req            *Req
 	cn             *conn
-	sent           bool // credit consumed and wire handed to the NIC
+	start          sim.Time // enqueue time, for per-attempt service-time samples
+	sent           bool     // credit consumed and wire handed to the NIC
 	creditReturned bool
 	abandoned      bool
 	// batch is non-nil once this attempt was coalesced into a doorbell
@@ -679,6 +682,13 @@ func (cn *conn) progressEngine(p *sim.Proc) {
 				}
 				req.nudge.Fire()
 				continue
+			}
+			if resp.Status != protocol.StatusBusy {
+				// Feed the health tracker the attempt's service time. Busy
+				// sheds are excluded: a fast rejection is not fast service.
+				if class, ok := classOfOp(req.Op); ok {
+					cn.c.noteServiceTime(cn, class, p.Now()-att.start)
+				}
 			}
 			// Zero-copy: the value was RDMA-WRITten directly into the
 			// request's registered response buffer; no client copy.

@@ -1,9 +1,10 @@
 // Package fault provides deterministic fault injection for the simulated
 // cluster: probabilistic message drop / duplication / latency spikes on the
-// fabric, and scheduled link-down windows per node. An Injector plugs into
-// simnet.Fabric via SetFaults; every decision comes from a seeded RNG
-// consulted in delivery order, so faulted runs are exactly as reproducible
-// as fault-free ones.
+// fabric, scheduled link-down windows per node, and sustained slow windows
+// (bandwidth brown-outs) per node. An Injector plugs into simnet.Fabric via
+// SetFaults; every probabilistic decision comes from a seeded RNG consulted
+// in delivery order, and every window is a fixed [From, To) schedule, so
+// faulted runs are exactly as reproducible as fault-free ones.
 //
 // Server crash/restart schedules live in internal/server (ScheduleCrash) and
 // SSD I/O error injection in internal/blockdev (SetFaults); this package
@@ -29,7 +30,9 @@ type Config struct {
 	// Dup is the probability a message is delivered twice.
 	Dup float64
 	// Spike is the probability a message is delayed by SpikeDelay beyond
-	// normal propagation.
+	// normal propagation. A spike is a one-shot, per-message event; it
+	// cannot model a link that stays degraded. For sustained degradation
+	// use AddSlow, which schedules a SlowWindow instead.
 	Spike float64
 	// SpikeDelay is the extra latency of a spiked message
 	// (default 100 µs).
@@ -53,12 +56,30 @@ type DirWindow struct {
 	From, To sim.Time
 }
 
+// SlowWindow is one sustained link-degradation interval for a node: every
+// message to or from the node in [From, To) is delayed by Floor plus
+// PerKB-scaled serialization drag beyond normal propagation. Unlike a
+// Spike — a one-shot random event on a single message — a slow window is
+// the gray failure itself: the link stays up, every message still arrives,
+// and only latency (fixed floor plus a bandwidth-shaped size term) tells
+// the story. No RNG is consulted, so replays are exact.
+type SlowWindow struct {
+	Node     string
+	From, To sim.Time
+	// Floor is the fixed extra latency added to every affected message.
+	Floor sim.Time
+	// PerKB adds delay proportional to message size (per KiB), modeling a
+	// degraded effective link bandwidth rather than a fixed stall.
+	PerKB sim.Time
+}
+
 // Injector implements simnet.FaultInjector with seeded randomness.
 type Injector struct {
-	cfg        Config
-	rng        *rand.Rand
-	windows    []Window
-	dirWindows []DirWindow
+	cfg         Config
+	rng         *rand.Rand
+	windows     []Window
+	dirWindows  []DirWindow
+	slowWindows []SlowWindow
 
 	// Stats
 	Drops          int64 // random drops
@@ -66,6 +87,7 @@ type Injector struct {
 	Spikes         int64
 	LinkDrops      int64 // drops due to a link-down window
 	PartitionDrops int64 // drops due to an asymmetric partition window
+	Slowed         int64 // messages delayed by a slow window
 }
 
 // New returns an injector for cfg.
@@ -87,6 +109,37 @@ func (in *Injector) AddLinkDown(node string, from, to sim.Time) {
 // the arguments swapped for a symmetric partition between two nodes.
 func (in *Injector) AddPartition(src, dst string, from, to sim.Time) {
 	in.dirWindows = append(in.dirWindows, DirWindow{Src: src, Dst: dst, From: from, To: to})
+}
+
+// AddSlow schedules a sustained slow window for node: every message to or
+// from it in [from, to) is delayed by floor plus perKB for each KiB of
+// message size. Deterministic — no RNG draw — so the same schedule replays
+// to the same virtual-time trace.
+func (in *Injector) AddSlow(node string, from, to sim.Time, floor, perKB sim.Time) {
+	in.slowWindows = append(in.slowWindows, SlowWindow{
+		Node: node, From: from, To: to, Floor: floor, PerKB: perKB,
+	})
+}
+
+// slowDelay returns the extra latency slow windows impose on a message of
+// the given size between src and dst at time at. Overlapping windows (both
+// endpoints limping, or stacked schedules) take the worst single window
+// rather than summing, so a symmetric schedule does not double-charge.
+func (in *Injector) slowDelay(src, dst string, size int, at sim.Time) sim.Time {
+	var d sim.Time
+	for _, w := range in.slowWindows {
+		if w.Node != src && w.Node != dst {
+			continue
+		}
+		if at < w.From || at >= w.To {
+			continue
+		}
+		e := w.Floor + w.PerKB*sim.Time(size)/1024
+		if e > d {
+			d = e
+		}
+	}
+	return d
 }
 
 // Partitioned reports whether the src→dst direction is cut at time at.
@@ -114,7 +167,7 @@ func (in *Injector) LinkDown(node string, at sim.Time) bool {
 // Config leaves the simulation bit-identical to having none.
 func (in *Injector) Active() bool {
 	return in.cfg.Drop > 0 || in.cfg.Dup > 0 || in.cfg.Spike > 0 ||
-		len(in.windows) > 0 || len(in.dirWindows) > 0
+		len(in.windows) > 0 || len(in.dirWindows) > 0 || len(in.slowWindows) > 0
 }
 
 // Transmit decides the fate of one message at serialization end.
@@ -146,6 +199,10 @@ func (in *Injector) Transmit(src, dst string, size int, now sim.Time) simnet.Ver
 		in.Spikes++
 		v.ExtraDelay = in.cfg.SpikeDelay
 	}
+	if d := in.slowDelay(src, dst, size, now); d > 0 {
+		in.Slowed++
+		v.ExtraDelay += d
+	}
 	return v
 }
 
@@ -157,5 +214,6 @@ func (in *Injector) Counters() *metrics.Counters {
 	c.Add("net-spikes", in.Spikes)
 	c.Add("net-link-drops", in.LinkDrops)
 	c.Add("net-partition-drops", in.PartitionDrops)
+	c.Add("net-slowed", in.Slowed)
 	return c
 }

@@ -265,6 +265,16 @@ const (
 	// Dynamic membership counters.
 	CEpochInvalidations Counter = "epoch-invalidations" // placement caches dropped on a membership epoch change
 	CRetiredConns       Counter = "retired-conns"       // decommissioned servers whose client state was released
+
+	// Gray-failure counters. Brown-out is the deprioritized-but-routable
+	// breaker state driven by the latency health tracker: the connection
+	// still answers, so it is never opened, but GET routing prefers a
+	// healthy replica while one exists.
+	CBrownoutsEntered Counter = "brownouts-entered" // connections demoted to brown-out by the health tracker
+	CBrownoutsExited  Counter = "brownouts-exited"  // connections restored to healthy
+	CSlowRoutedGets   Counter = "slow-routed-gets"  // GETs steered away from a browned-out replica
+	CPacerDeferrals   Counter = "pacer-deferrals"   // background replication rounds deferred to foreground load
+	CHealthSamples    Counter = "health-samples"    // per-op service-time samples fed to the health tracker
 )
 
 // Counters is a named-counter bag for fault, retry, and availability

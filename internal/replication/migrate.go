@@ -149,6 +149,17 @@ func (r *Replicator) migrateSegment(p *sim.Proc, epoch uint64, seg int) bool {
 			r.Counters.Add("migrate-seals", 1)
 			return true
 		}
+		// Background pacing: one token per pull round. Deferred rounds are
+		// re-sent later, never dropped, so a paced rebalance still seals
+		// every segment; the loop re-checks supersession after the wait.
+		r.pace(p)
+		if !r.mem.Migrating() || r.mem.Epoch() != epoch {
+			delete(r.migPulls, seg)
+			return false
+		}
+		if r.isDown() {
+			continue
+		}
 		st.done = r.env.NewEvent()
 		// (Re)install: a Wipe between rounds cleared r.migPulls, and with it
 		// every satisfied want's local state — the resent pulls rebuild both.

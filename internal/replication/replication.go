@@ -75,6 +75,41 @@ type Config struct {
 	AckRetries int
 	// PullTimeout bounds a synchronous suspect-confirmation pull.
 	PullTimeout sim.Time
+	// Pacer throttles background traffic (scrub digest rounds and
+	// migration pull rounds) behind a token bucket that yields to the host
+	// server's foreground load. The zero value disables pacing: background
+	// rounds run exactly as before.
+	Pacer PacerConfig
+}
+
+// PacerConfig is the background-traffic token bucket. When Enabled, every
+// anti-entropy digest round and every migration pull round first takes a
+// token; tokens refill one per RefillEvery up to Burst. A round that finds
+// the bucket empty — or the host server's foreground-busy probe (SetBusy)
+// asserted — is deferred, never dropped: it sleeps a refill interval and
+// retries, so convergence and rebalance finalization are delayed but never
+// lost. MaxDefer bounds how long the busy probe alone can hold a round
+// back, so a permanently-loaded server still scrubs and migrates.
+type PacerConfig struct {
+	Enabled bool
+	// Burst is the bucket capacity (default 4 rounds).
+	Burst int
+	// RefillEvery is the per-token refill interval (default 200 µs).
+	RefillEvery sim.Time
+	// MaxDefer caps busy-probe deferral of a single round (default 5 ms).
+	MaxDefer sim.Time
+}
+
+func (pc *PacerConfig) fill() {
+	if pc.Burst <= 0 {
+		pc.Burst = 4
+	}
+	if pc.RefillEvery <= 0 {
+		pc.RefillEvery = 200 * sim.Microsecond
+	}
+	if pc.MaxDefer <= 0 {
+		pc.MaxDefer = 5 * sim.Millisecond
+	}
 }
 
 func (c *Config) fill() {
@@ -95,6 +130,9 @@ func (c *Config) fill() {
 	}
 	if c.PullTimeout == 0 {
 		c.PullTimeout = 300 * sim.Microsecond
+	}
+	if c.Pacer.Enabled {
+		c.Pacer.fill()
 	}
 }
 
@@ -151,6 +189,12 @@ type Replicator struct {
 	st   *store.Store
 	dev  *verbs.Device
 	down func() bool // host server crashed or recovering: drop frames
+	busy func() bool // host server has queued foreground work: pacer yields
+
+	// Token-bucket state for the background-traffic pacer (Config.Pacer).
+	paceInit   bool
+	paceTokens int
+	paceLast   sim.Time
 
 	sendCQ  *verbs.CQ
 	recvCQ  *verbs.CQ
@@ -207,6 +251,50 @@ func (r *Replicator) SetDown(fn func() bool) { r.down = fn }
 
 // isDown reports whether the host server is crashed.
 func (r *Replicator) isDown() bool { return r.down != nil && r.down() }
+
+// SetBusy installs the host server's foreground-load probe. Only consulted
+// while the pacer is enabled; attaching it is otherwise free.
+func (r *Replicator) SetBusy(fn func() bool) { r.busy = fn }
+
+// pace takes one background-round token, blocking the calling proc while
+// the bucket is empty or the host server reports foreground load. Rounds
+// are deferred, never dropped: when pacing is disabled this returns
+// immediately, and under pacing the caller always proceeds eventually —
+// the busy probe can hold a round back at most MaxDefer, and the bucket
+// refills on a fixed schedule.
+func (r *Replicator) pace(p *sim.Proc) {
+	pc := &r.cfg.Pacer
+	if !pc.Enabled {
+		return
+	}
+	if !r.paceInit {
+		// First use: start with a full bucket so pacing never delays the
+		// initial convergence burst of a fresh cluster.
+		r.paceInit = true
+		r.paceTokens = pc.Burst
+		r.paceLast = p.Now()
+	}
+	deadline := p.Now() + pc.MaxDefer
+	for {
+		now := p.Now()
+		if refill := int((now - r.paceLast) / pc.RefillEvery); refill > 0 {
+			r.paceTokens += refill
+			if r.paceTokens > pc.Burst {
+				r.paceTokens = pc.Burst
+			}
+			r.paceLast += sim.Time(refill) * pc.RefillEvery
+		}
+		if r.paceTokens > 0 {
+			isBusy := r.busy != nil && r.busy()
+			if !isBusy || now >= deadline {
+				r.paceTokens--
+				return
+			}
+		}
+		r.Counters.Add(string(metrics.CPacerDeferrals), 1)
+		p.Sleep(pc.RefillEvery)
+	}
+}
 
 // Interconnect creates the pairwise QPs between every replicator over their
 // servers' devices, pre-posts receive pools, and starts each engine and

@@ -81,6 +81,12 @@ func (r *Replicator) scrubber(p *sim.Proc) {
 		if r.isDown() {
 			continue
 		}
+		// Background pacing: one token per digest round, deferred while
+		// the host serves queued foreground work.
+		r.pace(p)
+		if r.isDown() {
+			continue // crashed while the pacer held the round back
+		}
 		for _, pid := range r.peerIDs {
 			r.Counters.Add("scrub-rounds", 1)
 			r.send(p, pid, &frame{Kind: frameDigest, Buckets: r.digestFor(pid)})

@@ -207,6 +207,12 @@ type Server struct {
 	// a stale gen and is discarded instead of answered after restart.
 	gen uint64
 
+	// stallWindows are scheduled fail-slow intervals for the storage pool
+	// (AddWorkerStall): each task popped during a window pays a fixed extra
+	// stall before its storage phase. This is the CPU/runtime-side gray
+	// failure — the node answers everything, just late.
+	stallWindows []stallWindow
+
 	// Stats
 	Requests int64
 	Acks     int64
@@ -230,6 +236,8 @@ type Server struct {
 	// the unprotected queue grows without bound.
 	BufferPeak int
 	QueuePeak  int
+	// Stalled counts storage tasks delayed by an AddWorkerStall window.
+	Stalled int64
 	// Recovery holds the cold-restart counters ("pages-scanned",
 	// "pages-recovered", "pages-discarded", "items-recovered", ...).
 	Recovery *metrics.Counters
@@ -241,6 +249,31 @@ type Server struct {
 
 type rdmaConn struct {
 	qp *verbs.QP
+}
+
+// stallWindow is one scheduled storage-pool stall interval.
+type stallWindow struct {
+	from, to sim.Time
+	stall    sim.Time
+}
+
+// AddWorkerStall schedules a fail-slow window on the storage pool: every
+// task a worker pops in [from, to) pays an extra stall before executing.
+// Deterministic and replayable; with no windows the worker loop is
+// untouched, keeping unfaulted runs bit-identical.
+func (s *Server) AddWorkerStall(from, to sim.Time, stall sim.Time) {
+	s.stallWindows = append(s.stallWindows, stallWindow{from: from, to: to, stall: stall})
+}
+
+// stallFor returns the worst scheduled stall covering time at.
+func (s *Server) stallFor(at sim.Time) sim.Time {
+	var d sim.Time
+	for _, w := range s.stallWindows {
+		if at >= w.from && at < w.to && w.stall > d {
+			d = w.stall
+		}
+	}
+	return d
 }
 
 type task struct {
@@ -367,6 +400,34 @@ func (s *Server) AttachReplicator(r *replication.Replicator) {
 	// frames; silence (not a negative ack) is what lets coordinators
 	// distinguish "retry later" from "stale epoch".
 	r.SetDown(func() bool { return s.down || s.recovering })
+	// Foreground-load signal for the background pacer: consulted only when
+	// the replicator's pacer is enabled, so attaching it costs nothing.
+	r.SetBusy(s.foregroundBusy)
+}
+
+// foregroundBusy reports whether the async pipeline currently holds queued
+// foreground work: storage tasks waiting beyond the worker pool, or
+// buffered bytes above half the shed watermark. The replication pacer
+// yields background scrub/migration rounds while this holds — deliberately
+// engaging well below the point where admission starts rejecting SETs,
+// because once the server sheds foreground work the buffer never rises
+// past the shed watermark and a probe at that level would never fire; the
+// pacer is the gentle first line of defense, shedding the last resort.
+// Sync-pipeline (or not-yet-started) servers report idle — they have no
+// queue to protect.
+func (s *Server) foregroundBusy() bool {
+	if s.slots == nil || s.reqQ == nil {
+		return false
+	}
+	if s.reqQ.Len() >= s.cfg.StorageWorkers {
+		return true
+	}
+	frac := s.cfg.Overload.SetWatermark
+	if frac <= 0 {
+		frac = 0.5
+	}
+	frac /= 2
+	return float64(s.slots.InUse()) > frac*float64(s.slots.Total())
 }
 
 // Replicator returns the attached replicator (nil when unreplicated).
@@ -811,6 +872,12 @@ func (s *Server) storageWorker(p *sim.Proc) {
 		t, ok := s.reqQ.Get(p)
 		if !ok {
 			return
+		}
+		if len(s.stallWindows) > 0 {
+			if d := s.stallFor(p.Now()); d > 0 {
+				s.Stalled++
+				p.Sleep(d)
+			}
 		}
 		if t.batch != nil {
 			s.workBatch(p, t)
