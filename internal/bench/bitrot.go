@@ -1,0 +1,384 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hybridkv/internal/cluster"
+	"hybridkv/internal/core"
+	"hybridkv/internal/history"
+	"hybridkv/internal/metrics"
+	"hybridkv/internal/protocol"
+	"hybridkv/internal/sim"
+	"hybridkv/internal/workload"
+)
+
+// The bitrot experiment: one server's SSD silently rots at rest while a
+// mixed workload runs against a deliberately RAM-starved cluster, so most
+// reads hit the rotting media. Cells cross R ∈ {1, 2, 3} with three
+// defense levels: nodefense (on-SSD verification off, scrubber off — the
+// server serves whatever the media returns), verify (foreground page-header
+// + key-digest verification quarantines corrupt pages and answers
+// StatusCorrupt, but no background repair), and verify+scrub (verification
+// plus the content-aware anti-entropy scrubber proactively finding and
+// repairing divergent bytes from peers). Every logged operation carries a
+// content checksum and the history checker's corruption oracle
+// (Log.CheckValues) demands each read hit byte-match SOME acked write; the
+// end-of-run sweep counts acked keys no replica still holds. The headline:
+// nodefense serves garbage (corrupt_reads > 0), verification alone already
+// serves zero garbage at every R, and at R ≥ 2 verification + repair also
+// loses nothing (lost_acked exactly 0) while quarantined pages are scrubbed
+// back into the free pool.
+
+const (
+	rotServers = 3
+	rotVictim  = 0 // the server whose SSD rots
+
+	// RAM-starved on purpose: ~200 keys x 4 KB per server against a 256 KB
+	// slab budget forces the bulk of the working set onto the SSD, where
+	// the rot lives. Small slab pages keep eviction granular.
+	rotKeys      = 600
+	rotValueSize = 4 * 1024
+	rotServerMem = 256 << 10
+	rotPageSize  = 64 << 10
+
+	// Rot schedule: armed immediately after preload settles, so the
+	// preloaded extents' cells decay under the measured workload. The rate
+	// picks which extents decay; the window bounds when. A rotted extent
+	// stays bad until rewritten — the window bounds onset, not exposure.
+	rotSeed   = 17
+	rotRate   = 0.4
+	rotWindow = 40 * sim.Millisecond
+
+	rotReadFrac = 0.7
+	rotDeadline = 60 * sim.Millisecond
+	rotAttempt  = 8 * sim.Millisecond
+	rotThink    = 100 * sim.Microsecond
+	// rotSettle idles the cluster before the durability sweep: several
+	// scrub rounds (2 ms cadence) to find and repair latent divergence.
+	rotSettle = 10 * sim.Millisecond
+)
+
+// rotCell is one defense level of the experiment grid.
+type rotCell struct {
+	name     string
+	noVerify bool // disable on-SSD verification (hybridslab.Config.NoVerify)
+	scrub    bool // leave the anti-entropy scrubber running
+}
+
+// rotRun is one cell's outcome.
+type rotRun struct {
+	OK, Misses, Failed int64
+	Lat                *metrics.Hist
+	Violations         []history.Violation
+	// CorruptReads counts corrupt-read oracle violations: read hits whose
+	// content checksum matches no write any worker ever issued.
+	CorruptReads         int64
+	AckedKeys, LostAcked int64
+	// Ground truth and defense-side ledgers, snapshotted BEFORE the sweep
+	// (the sweep's own reads would keep quarantining pages).
+	RottenReads        int64 // device: reads that actually served rotted contents
+	DetectedCorrupt    int64 // store: foreground reads answered StatusCorrupt
+	Quarantined        int64 // manager: suspect pages held out of the free pool
+	QuarantineReclaims int64 // manager: quarantined regions scrubbed + reclaimed
+	ScrubFound         int64 // replication: content divergences scrub detected
+	ScrubRepaired      int64 // replication: divergences repaired from a peer
+	// StatsAgree proves the Client.Stats() integrity plumbing reports the
+	// same triple the servers hold.
+	StatsAgree bool
+	// Now is the final virtual clock, for the replay-identity check.
+	Now sim.Time
+}
+
+// runBitrot executes one cell: preload every key (seq 1), arm bit-rot on
+// the victim's device, drive ops mixed operations under the corruption
+// oracle, then settle and sweep for lost acked keys.
+func runBitrot(factor int, ops int, cell rotCell) *rotRun {
+	// Starve the host page cache too: with the default 128 MB cache every
+	// "SSD read" is a DRAM hit and the rotting media is never touched. A
+	// 256 KB cache forces the adaptive I/O schemes to the device, which is
+	// where at-rest rot lives (a cache hit legitimately re-serves the
+	// clean DRAM copy).
+	prof := cluster.ClusterA()
+	prof.PageCache.MaxPages = 64
+	prof.PageCache.DirtyHighPages = 16
+	prof.PageCache.ThrottlePages = 32
+	cfg := cluster.Config{
+		Design:            cluster.HRDMAOptNonBB,
+		Profile:           prof,
+		Servers:           rotServers,
+		Clients:           1,
+		ServerMem:         rotServerMem,
+		SlabPageSize:      rotPageSize,
+		ReplicationFactor: factor,
+		NoVerify:          cell.noVerify,
+	}
+	if !cell.scrub {
+		cfg.ScrubInterval = -1
+	}
+	cl := cluster.New(cfg)
+	c := cl.Clients[0]
+	gen := workload.New(workload.Config{
+		Keys: rotKeys, ValueSize: rotValueSize, ReadFraction: rotReadFrac,
+		Pattern: workload.Uniform, Seed: 11,
+	})
+
+	// Preload the key space with seq 1 and log those writes: the oracle
+	// needs every legally-observable checksum, and a read hitting a
+	// preloaded value is as legal as one hitting a measured write.
+	log := &history.Log{Replicated: factor > 1, CheckValues: true}
+	lastOK := map[string]uint64{}
+	cl.Env.Spawn("rot-preload", func(p *sim.Proc) {
+		for i := 0; i < rotKeys; i++ {
+			t0 := p.Now()
+			c.Set(p, gen.Key(i), rotValueSize, uint64(1), 0, 0)
+			lastOK[gen.Key(i)] = 1
+			log.Record(history.Entry{
+				Kind: history.Write, Key: gen.Key(i), Seq: 1,
+				Sum: protocol.ValueSum(uint64(1)), OK: true, Acked: true,
+				IssuedAt: t0, CompletedAt: p.Now(),
+			})
+		}
+	})
+	cl.Env.Run()
+	cl.SettleIO()
+
+	// The media starts decaying only now: every preloaded extent is
+	// durable, so rate-selected extents on the victim all rot inside the
+	// window while the workload reads them.
+	cl.Devices[rotVictim].AddBitRot(rotSeed, cl.Env.Now(), cl.Env.Now()+rotWindow, rotRate)
+
+	rp := core.RetryPolicy{
+		MaxAttempts:    8,
+		AttemptTimeout: rotAttempt,
+		Backoff:        100 * sim.Microsecond,
+		MaxBackoff:     2 * sim.Millisecond,
+		Jitter:         -1,
+		Seed:           13,
+		Failover:       true,
+	}
+	guard := []core.IssueOption{
+		core.WithDeadline(rotDeadline), core.WithRetry(rp), core.WithBufferAck(),
+	}
+
+	run := &rotRun{Lat: metrics.NewHist()}
+	nextSeq := uint64(1)
+	cl.Env.Spawn("rot-driver", func(p *sim.Proc) {
+		for i := 0; i < ops; i++ {
+			kind, key := gen.Next()
+			op := core.Op{Code: protocol.OpGet, Key: key}
+			if kind == workload.OpSet {
+				nextSeq++
+				op = core.Op{Code: protocol.OpSet, Key: key, ValueSize: rotValueSize, Value: nextSeq}
+			}
+			t0 := p.Now()
+			req, err := c.Issue(p, op, guard...)
+			if err != nil {
+				panic("bench: bitrot issue failed: " + err.Error())
+			}
+			c.Wait(p, req)
+			e := history.Entry{Key: key, IssuedAt: t0, CompletedAt: p.Now()}
+			switch rerr := req.Err(); {
+			case rerr == nil:
+				run.OK++
+				run.Lat.Add(p.Now() - t0)
+				if kind == workload.OpSet {
+					seq, _ := op.Value.(uint64)
+					if seq > lastOK[key] {
+						lastOK[key] = seq
+					}
+					e.Kind, e.Seq, e.Sum = history.Write, seq, protocol.ValueSum(op.Value)
+					e.OK, e.Acked = true, req.Acked()
+				} else {
+					// The observed value may be garbage (a Garbled wrapper in
+					// the nodefense cells): its Sum then matches no write's,
+					// which is exactly what the oracle flags.
+					seq, _ := req.Value.(uint64)
+					e.Kind, e.Seq, e.Sum = history.Read, seq, protocol.ValueSum(req.Value)
+					e.OK, e.Hit = true, true
+				}
+			case errors.Is(rerr, core.ErrNotFound):
+				run.Misses++
+				e.Kind, e.OK, e.Hit = history.Read, true, false
+				if kind == workload.OpSet {
+					e.Kind, e.OK, e.Hit = history.Write, false, false
+					e.Seq, _ = op.Value.(uint64)
+					e.Sum = protocol.ValueSum(op.Value)
+				}
+			default:
+				run.Failed++
+				e.OK = false
+				if kind == workload.OpSet {
+					e.Kind = history.Write
+					e.Seq, _ = op.Value.(uint64)
+					e.Sum = protocol.ValueSum(op.Value)
+					e.Acked = req.Acked()
+				}
+			}
+			log.Record(e)
+			p.Sleep(rotThink)
+		}
+
+		// Settle, then snapshot the integrity ledgers BEFORE the sweep:
+		// the sweep's own server-direct reads would go on detecting and
+		// quarantining, polluting the measured-phase numbers.
+		for _, s := range cl.Servers {
+			for s.Down() || s.Recovering() {
+				p.Sleep(sim.Millisecond)
+			}
+		}
+		p.Sleep(rotSettle)
+		run.RottenReads = cl.Devices[rotVictim].RottenReads
+		for _, s := range cl.Servers {
+			st := s.Store().Stats()
+			run.DetectedCorrupt += st.CorruptReads
+			run.Quarantined += st.QuarantinedPages
+			run.QuarantineReclaims += s.Store().Manager().QuarantineReclaims
+		}
+		repl := cl.ReplicationCounters()
+		run.ScrubFound = repl.Get(string(metrics.CScrubCorruptionsFound))
+		run.ScrubRepaired = repl.Get(string(metrics.CScrubCorruptionsRepaired))
+		cs := c.Stats()
+		run.StatsAgree = cs.ScrubCorruptionsFound == run.ScrubFound &&
+			cs.ScrubCorruptionsRepaired == run.ScrubRepaired &&
+			cs.QuarantinedPages == run.Quarantined
+
+		// Durability sweep: ask every server directly whether it still
+		// holds each acked key at or past its newest OK sequence. A rotted
+		// copy fails verification here too (or, nodefense, parses as
+		// garbage) — either way that replica does not count as holding it.
+		keys := make([]string, 0, len(lastOK))
+		for k := range lastOK {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			run.AckedKeys++
+			held := false
+			for _, s := range cl.Servers {
+				if v, _, _, _, ok := s.Store().ReadItem(p, k); ok {
+					if seq, _ := v.(uint64); seq >= lastOK[k] {
+						held = true
+						break
+					}
+				}
+			}
+			if !held {
+				run.LostAcked++
+			}
+		}
+	})
+	cl.Env.Run()
+	run.Now = cl.Env.Now()
+	run.Violations = log.Check()
+	for _, v := range run.Violations {
+		if v.Rule == "corrupt-read" {
+			run.CorruptReads++
+		}
+	}
+	return run
+}
+
+// bitrotExp is the registry entry: R ∈ {1,2,3} × {nodefense, verify,
+// verify+scrub} over the same rot schedule, plus a replay of one defended
+// cell to prove the injection draws nothing from the fault RNG stream. The
+// headline metrics: nodefense_surfaces (the attack is real — garbage was
+// served somewhere), defense_holds (no defended cell served a single
+// corrupt read, and every defended R ≥ 2 cell lost zero acked writes), and
+// replay_identical.
+func bitrotExp(o Options) *Result {
+	res := newResult("bitrot",
+		"Bit-rot: at-rest SSD corruption vs read verification and scrub repair")
+	ops := o.ops(600)
+
+	cells := []rotCell{
+		{name: "nodefense", noVerify: true},
+		{name: "verify"},
+		{name: "verify+scrub", scrub: true},
+	}
+
+	corrupt := &metrics.Series{Name: "corrupt reads"}
+	lost := &metrics.Series{Name: "lost acked"}
+	rotten := &metrics.Series{Name: "rotten reads"}
+	quar := &metrics.Series{Name: "quarantined"}
+	repaired := &metrics.Series{Name: "scrub repaired"}
+
+	surfaced, held := false, true
+	detail := ""
+	for _, r := range []int{1, 2, 3} {
+		for _, cell := range cells {
+			run := runBitrot(r, ops, cell)
+			name := fmt.Sprintf("R%d.%s", r, cell.name)
+
+			corrupt.Append(name, float64(run.CorruptReads))
+			lost.Append(name, float64(run.LostAcked))
+			rotten.Append(name, float64(run.RottenReads))
+			quar.Append(name, float64(run.Quarantined))
+			repaired.Append(name, float64(run.ScrubRepaired))
+
+			res.metric(name+".ok", float64(run.OK))
+			res.metric(name+".misses", float64(run.Misses))
+			res.metric(name+".failed", float64(run.Failed))
+			res.metric(name+".p99_us", us(run.Lat.Quantile(0.99)))
+			res.metric(name+".corrupt_reads", float64(run.CorruptReads))
+			res.metric(name+".violations", float64(len(run.Violations)))
+			res.metric(name+".acked_keys", float64(run.AckedKeys))
+			res.metric(name+".lost_acked", float64(run.LostAcked))
+			res.metric(name+".rotten_reads", float64(run.RottenReads))
+			res.metric(name+".detected_corrupt", float64(run.DetectedCorrupt))
+			res.metric(name+".quarantined", float64(run.Quarantined))
+			res.metric(name+".quarantine_reclaims", float64(run.QuarantineReclaims))
+			res.metric(name+".scrub_found", float64(run.ScrubFound))
+			res.metric(name+".scrub_repaired", float64(run.ScrubRepaired))
+			res.metric(name+".stats_agree", b2f(run.StatsAgree))
+
+			if cell.noVerify && run.CorruptReads > 0 {
+				surfaced = true
+			}
+			if !cell.noVerify {
+				if run.CorruptReads != 0 {
+					held = false
+				}
+				if r >= 2 && run.LostAcked != 0 {
+					held = false
+				}
+			}
+			// Nodefense cells violate on purpose (corrupt reads, plus the
+			// stale-read collateral a garbled hit causes); their counts are
+			// the .violations metric. Details print only where a violation
+			// is unexpected — any defended cell.
+			if !cell.noVerify {
+				for _, v := range run.Violations {
+					detail += fmt.Sprintf("VIOLATION %s: %s\n", name, v)
+				}
+			}
+		}
+	}
+	res.metric("nodefense_surfaces", b2f(surfaced))
+	res.metric("defense_holds", b2f(held))
+
+	// Replay identity: the same defended cell twice, compared on the final
+	// virtual clock and every ledger — the injection is a pure hash of
+	// (seed, offset), so a faulted run replays exactly.
+	a := runBitrot(2, ops, rotCell{name: "verify+scrub", scrub: true})
+	b := runBitrot(2, ops, rotCell{name: "verify+scrub", scrub: true})
+	identical := a.Now == b.Now && a.OK == b.OK && a.Misses == b.Misses &&
+		a.Failed == b.Failed && a.RottenReads == b.RottenReads &&
+		a.DetectedCorrupt == b.DetectedCorrupt && a.Quarantined == b.Quarantined &&
+		a.ScrubFound == b.ScrubFound && a.ScrubRepaired == b.ScrubRepaired &&
+		a.CorruptReads == b.CorruptReads && a.LostAcked == b.LostAcked
+	res.metric("replay_identical", b2f(identical))
+
+	res.Output = res.addTable(res.Title, corrupt, lost, rotten, quar, repaired) +
+		detail + res.renderMetrics()
+	return res
+}
+
+// b2f renders a pass/fail as a 1/0 metric value.
+func b2f(ok bool) float64 {
+	if ok {
+		return 1
+	}
+	return 0
+}

@@ -145,7 +145,7 @@ func TestFig8aSATABenefitsExceedNVMe(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"tbl1", "fig1a", "fig1b", "fig2a", "fig2b", "fig4", "fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "faults", "batching", "recovery", "overload", "chaos", "replication", "bypass", "hotkey", "membership", "grayfail"}
+	want := []string{"tbl1", "fig1a", "fig1b", "fig2a", "fig2b", "fig4", "fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "faults", "batching", "recovery", "overload", "chaos", "replication", "bypass", "hotkey", "membership", "grayfail", "bitrot"}
 	if len(Registry) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(Registry), len(want))
 	}

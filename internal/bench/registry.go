@@ -38,6 +38,7 @@ var Registry = []Experiment{
 	{"hotkey", "Hot-key serving: celebrity flash crowd vs replicated-read fan-out", hotkeyExp},
 	{"membership", "Dynamic membership: join/decommission under chaos and the scaling sweep", membershipExp},
 	{"grayfail", "Gray failure: fail-slow node, brown-out routing, background pacing", grayfailExp},
+	{"bitrot", "Bit-rot: at-rest SSD corruption vs read verification and scrub repair", bitrotExp},
 }
 
 // ByID finds an experiment, or nil.

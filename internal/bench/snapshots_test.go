@@ -41,6 +41,12 @@ var snapshotExpectations = map[string][]string{
 		"brownout+pacing.get_p99_us", "brownout+pacing.violations",
 		"crash.violations", "crash.failovers", "p99_bound_ok",
 	},
+	"bitrot": {
+		"R1.nodefense.corrupt_reads", "R2.verify+scrub.corrupt_reads",
+		"R2.verify+scrub.lost_acked", "R2.verify+scrub.quarantined",
+		"R2.verify+scrub.quarantine_reclaims", "nodefense_surfaces",
+		"defense_holds", "replay_identical",
+	},
 }
 
 func TestCommittedSnapshotsParse(t *testing.T) {

@@ -120,6 +120,12 @@ type Device struct {
 	// exactly the scheduled interval on every replay.
 	slowWindows []SlowWindow
 
+	// Bit-rot injection (AddBitRot): latent at-rest corruption. Whether and
+	// when a durable extent rots is a pure hash of (seed, offset), drawn
+	// from no RNG stream, so arming rot perturbs nothing else and faulted
+	// runs replay exactly.
+	rotWindows []RotWindow
+
 	// Stats
 	Reads, Writes         int64
 	BytesRead, BytesWrite int64
@@ -130,6 +136,9 @@ type Device struct {
 	TornWrites int64
 	// SlowedIOs counts commands stretched by a slow window.
 	SlowedIOs int64
+	// RottenReads counts device-touching reads that returned rotted
+	// contents (the injector biting; detection is the reader's job).
+	RottenReads int64
 }
 
 // SlowWindow is one fail-slow interval: commands serviced in [From, To)
@@ -147,6 +156,19 @@ type SlowWindow struct {
 	Floor sim.Time
 }
 
+// RotWindow is one scheduled bit-rot interval: a rate-sized fraction of
+// durable extents each silently corrupt at a per-extent instant inside
+// [From, To), chosen by hashing the extent offset with Seed. Rot is latent:
+// nothing happens until the extent is next read off the media, which is
+// what distinguishes it from the write-time torn/error injection. An
+// extent rewritten after its rot instant is clean again (fresh charge in
+// the cells), matching how real latent sector errors behave.
+type RotWindow struct {
+	Seed     uint64
+	From, To sim.Time
+	Rate     float64
+}
+
 type extent struct {
 	size    int
 	payload any
@@ -154,11 +176,23 @@ type extent struct {
 
 // DurExtent is one durably-persisted extent. Valid < Size marks a torn
 // extent: only the first Valid bytes reached the media, so any checksum
-// over the full extent fails.
+// over the full extent fails. WrittenAt is the persist instant, consulted
+// by the bit-rot predicate (a rewrite refreshes the cells).
 type DurExtent struct {
-	Size    int
+	Size      int
+	Payload   any
+	Valid     int
+	WrittenAt sim.Time
+}
+
+// Rotted wraps a read payload whose media cells rotted after it was
+// persisted: the bits returned are not the bits written. Integrity-checking
+// readers (the hybrid slab's verify path) detect the wrapper the way a real
+// reader detects a checksum mismatch; readers with verification disabled
+// unwrap it and surface garbage — exactly the failure mode the bitrot
+// experiment's nodefense cells measure.
+type Rotted struct {
 	Payload any
-	Valid   int
 }
 
 // Torn reports whether the extent persisted incompletely.
@@ -270,6 +304,72 @@ func (d *Device) slowTime(at sim.Time, t sim.Time) sim.Time {
 	return out
 }
 
+// AddBitRot schedules latent at-rest corruption: a rate-sized fraction of
+// durable extents (chosen by hashing their offsets with seed) each rot at a
+// deterministic instant inside [from, to). The decision is a pure function
+// of (seed, offset) — no RNG stream is consulted, ever — so arming bit-rot
+// changes no other draw in the run and the same seed replays the exact same
+// corruption. Rot is latent until read: a read that touches the device at or
+// after the extent's rot instant observes Rotted contents, while extents
+// rewritten after their rot instant read clean.
+func (d *Device) AddBitRot(seed int64, from, to sim.Time, rate float64) {
+	d.rotWindows = append(d.rotWindows, RotWindow{Seed: uint64(seed), From: from, To: to, Rate: rate})
+}
+
+// rotHash is a seeded splitmix64-style mix over an extent offset; stream
+// separates the "does it rot" draw from the "when does it rot" draw.
+func rotHash(seed, off, stream uint64) uint64 {
+	x := seed ^ off*0x9e3779b97f4a7c15 ^ stream*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Rotten reports whether the durable extent at off reads corrupt at time
+// at: some window selected it, its rot instant has passed, and it has not
+// been rewritten since. This is the injector's ground truth — no counters,
+// no time charge — for oracles and tests.
+func (d *Device) Rotten(off int64, at sim.Time) bool {
+	if len(d.rotWindows) == 0 {
+		return false
+	}
+	e, ok := d.durable[off]
+	if !ok {
+		return false
+	}
+	for _, w := range d.rotWindows {
+		h := rotHash(w.Seed, uint64(off), 1)
+		if float64(h>>11)/float64(1<<53) >= w.Rate {
+			continue
+		}
+		rotAt := w.From
+		if span := w.To - w.From; span > 0 {
+			rotAt += sim.Time(rotHash(w.Seed, uint64(off), 2) % uint64(span))
+		}
+		if at >= rotAt && e.WrittenAt <= rotAt {
+			return true
+		}
+	}
+	return false
+}
+
+// RotRead is the read-path consultation: like Rotten, but counts the bite.
+// Layers that model device timing themselves (the page cache) call this on
+// exactly the same device-touching reads that consult InjectReadError, and
+// only after charging the normal service time — a rotted read costs the
+// same as a clean one, so defense cells stay virtual-time-comparable to
+// nodefense cells.
+func (d *Device) RotRead(off int64, at sim.Time) bool {
+	if d.Rotten(off, at) {
+		d.RottenReads++
+		return true
+	}
+	return false
+}
+
 // SetTornWrites arms torn-write injection: each persisting write command
 // tears with probability prob, leaving only a uniformly-drawn sector prefix
 // on the media. Zero probability disarms injection.
@@ -303,7 +403,7 @@ func (d *Device) Persist(off int64, size, valid int, payload any) {
 		delete(d.durable, off)
 		return
 	}
-	d.durable[off] = DurExtent{Size: size, Payload: payload, Valid: valid}
+	d.durable[off] = DurExtent{Size: size, Payload: payload, Valid: valid, WrittenAt: d.env.Now()}
 }
 
 // DiscardDurable drops the durable extent at off (slot invalidation /
@@ -377,6 +477,11 @@ func (d *Device) ReadAt(p *sim.Proc, off int64, size int) (payload any, ok bool)
 	e, ok := d.extents[off]
 	if !ok {
 		return nil, false
+	}
+	// Service time is already charged: a rotted read costs what a clean
+	// one does, it just hands back bits that no longer match the write.
+	if d.RotRead(off, p.Now()) {
+		return Rotted{Payload: e.payload}, true
 	}
 	return e.payload, true
 }

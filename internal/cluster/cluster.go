@@ -173,6 +173,14 @@ type Config struct {
 	// server's foreground load. Zero value: background rounds run exactly
 	// as before. Only meaningful with ReplicationFactor > 1.
 	Pacer replication.PacerConfig
+	// NoVerify disables on-SSD integrity verification on every server
+	// (hybridslab.Config.NoVerify) — the "nodefense" baseline of the bitrot
+	// experiment. Production configs leave it false: verification is on.
+	NoVerify bool
+	// ScrubInterval overrides the replication scrubber cadence; negative
+	// disables the scrubber entirely (the "verify-only" bitrot cell), zero
+	// keeps the replication default.
+	ScrubInterval sim.Time
 }
 
 // Cluster is one assembled deployment.
@@ -260,8 +268,10 @@ func New(cfg Config) *Cluster {
 		}
 		cl.Membership = replication.NewMembership(env, repFactor, ids)
 		for i, srv := range cl.Servers {
-			repl := replication.New(env, replication.Config{ID: i, Factor: repFactor, Pacer: cfg.Pacer},
-				cl.Membership.Ring(), srv.Store(), srv.Device())
+			repl := replication.New(env, replication.Config{
+				ID: i, Factor: repFactor, Pacer: cfg.Pacer,
+				ScrubInterval: cfg.ScrubInterval,
+			}, cl.Membership.Ring(), srv.Store(), srv.Device())
 			repl.SetMembership(cl.Membership)
 			srv.Attach(server.Extensions{Replicator: repl})
 			cl.Replicators = append(cl.Replicators, repl)
@@ -294,9 +304,26 @@ func New(cfg Config) *Cluster {
 				c.ConnectIPoIB(srv)
 			}
 		}
+		// Integrity counters live server-side; every client's Stats sums
+		// the fleet's at snapshot time (servers may join after the client).
+		c.SetIntegrityStats(cl.IntegrityStats)
 		cl.Clients = append(cl.Clients, c)
 	}
 	return cl
+}
+
+// IntegrityStats sums the fleet's data-integrity counters: scrub-detected
+// content divergences, repairs applied, and SSD pages quarantined by failed
+// read verification. Wired into every client's Stats snapshot.
+func (cl *Cluster) IntegrityStats() (found, repaired, quarantined int64) {
+	for _, r := range cl.Replicators {
+		found += r.Counters.Get(string(metrics.CScrubCorruptionsFound))
+		repaired += r.Counters.Get(string(metrics.CScrubCorruptionsRepaired))
+	}
+	for _, s := range cl.Servers {
+		quarantined += s.Store().Manager().QuarantinedPages
+	}
+	return found, repaired, quarantined
 }
 
 // buildServer assembles one server node (SSD, page cache, hybrid slab,
@@ -324,6 +351,7 @@ func (cl *Cluster) buildServer(i int) *server.Server {
 		AdaptiveCutoff: cfg.AdaptiveCutoff,
 		SSDCapacity:    cfg.SSDCapacity,
 		AsyncFlush:     cfg.AsyncFlush,
+		NoVerify:       cfg.NoVerify,
 	}, file)
 	st := store.New(env, mgr)
 	scfg := server.Config{

@@ -81,6 +81,12 @@ type Injector struct {
 	dirWindows  []DirWindow
 	slowWindows []SlowWindow
 
+	// In-flight corruption (AddCorrupt): decided by a pure hash of the
+	// message coordinates, never the RNG stream, so arming it leaves every
+	// other draw — and therefore the rest of the run — bit-identical.
+	corruptSeed uint64
+	corruptRate float64
+
 	// Stats
 	Drops          int64 // random drops
 	Dups           int64
@@ -88,6 +94,7 @@ type Injector struct {
 	LinkDrops      int64 // drops due to a link-down window
 	PartitionDrops int64 // drops due to an asymmetric partition window
 	Slowed         int64 // messages delayed by a slow window
+	Corrupts       int64 // payloads delivered bit-flipped
 }
 
 // New returns an injector for cfg.
@@ -119,6 +126,38 @@ func (in *Injector) AddSlow(node string, from, to sim.Time, floor, perKB sim.Tim
 	in.slowWindows = append(in.slowWindows, SlowWindow{
 		Node: node, From: from, To: to, Floor: floor, PerKB: perKB,
 	})
+}
+
+// AddCorrupt arms seeded in-flight payload corruption: each message is
+// garbled with probability rate, decided by a pure hash of (seed, src, dst,
+// size, now) rather than the injector's RNG. Zero extra RNG draws means a
+// run with corruption armed replays every drop/dup/spike decision of the
+// same-seed run without it — the fault is additive, never entangling.
+func (in *Injector) AddCorrupt(seed int64, rate float64) {
+	in.corruptSeed = uint64(seed)
+	in.corruptRate = rate
+}
+
+// corruptHash mixes the message coordinates with the corruption seed via a
+// splitmix64-style finalizer. Stateless: the same message at the same time
+// always gets the same verdict, and a retransmit at a different virtual time
+// re-rolls — which is what lets sum-checked receivers converge on resend.
+func corruptHash(seed uint64, src, dst string, size int, now sim.Time) uint64 {
+	x := seed ^ 0x9e3779b97f4a7c15
+	for _, s := range []string{src, dst} {
+		for i := 0; i < len(s); i++ {
+			x = (x ^ uint64(s[i])) * 1099511628211
+		}
+		x ^= 0xff
+	}
+	x ^= uint64(size) * 0xbf58476d1ce4e5b9
+	x ^= uint64(now) * 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // slowDelay returns the extra latency slow windows impose on a message of
@@ -167,6 +206,7 @@ func (in *Injector) LinkDown(node string, at sim.Time) bool {
 // Config leaves the simulation bit-identical to having none.
 func (in *Injector) Active() bool {
 	return in.cfg.Drop > 0 || in.cfg.Dup > 0 || in.cfg.Spike > 0 ||
+		in.corruptRate > 0 ||
 		len(in.windows) > 0 || len(in.dirWindows) > 0 || len(in.slowWindows) > 0
 }
 
@@ -203,6 +243,15 @@ func (in *Injector) Transmit(src, dst string, size int, now sim.Time) simnet.Ver
 		in.Slowed++
 		v.ExtraDelay += d
 	}
+	// Corruption is decided last and by hash, not RNG: the draws above are
+	// identical whether or not corruption is armed.
+	if in.corruptRate > 0 {
+		h := corruptHash(in.corruptSeed, src, dst, size, now)
+		if float64(h>>11)/float64(1<<53) < in.corruptRate {
+			in.Corrupts++
+			v.Corrupt = true
+		}
+	}
 	return v
 }
 
@@ -215,5 +264,6 @@ func (in *Injector) Counters() *metrics.Counters {
 	c.Add("net-link-drops", in.LinkDrops)
 	c.Add("net-partition-drops", in.PartitionDrops)
 	c.Add("net-slowed", in.Slowed)
+	c.Add("net-corrupts", in.Corrupts)
 	return c
 }

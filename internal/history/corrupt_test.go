@@ -1,0 +1,48 @@
+package history
+
+import "testing"
+
+// The corruption oracle: with CheckValues armed, a read hit whose content
+// checksum matches no write ever issued on the key is flagged — even inside
+// a crash window, even under replication. Serving old bytes is a cache's
+// right; serving bytes nobody wrote never is.
+func TestCorruptReadOracle(t *testing.T) {
+	l := &Log{CheckValues: true}
+	l.CrashWindow(100, 200) // crash windows excuse nothing here
+	l.Record(Entry{Kind: Write, Key: "k", Seq: 1, Sum: 0xaaa, OK: true, Acked: true, IssuedAt: 10, CompletedAt: 20})
+	l.Record(Entry{Kind: Write, Key: "k", Seq: 2, Sum: 0xbbb, OK: false, Acked: false, IssuedAt: 30, CompletedAt: 40})
+	// Legal: the bytes of write 1.
+	l.Record(Entry{Kind: Read, Key: "k", Seq: 1, Sum: 0xaaa, OK: true, Hit: true, IssuedAt: 50, CompletedAt: 60})
+	// Legal: the bytes of the FAILED write 2 — it may still have landed.
+	l.Record(Entry{Kind: Read, Key: "k", Seq: 2, Sum: 0xbbb, OK: true, Hit: true, IssuedAt: 70, CompletedAt: 80})
+	// Misses are always legal, whatever their Sum field holds.
+	l.Record(Entry{Kind: Read, Key: "k", Seq: 0, Sum: 0, OK: true, Hit: false, IssuedAt: 90, CompletedAt: 95})
+	// Corrupt: bytes nobody ever wrote, completed inside the crash window.
+	l.Record(Entry{Kind: Read, Key: "k", Seq: 1, Sum: 0xeee, OK: true, Hit: true, IssuedAt: 110, CompletedAt: 120})
+
+	var corrupt int
+	for _, v := range l.Check() {
+		if v.Rule == "corrupt-read" {
+			corrupt++
+			if v.Entry.Sum != 0xeee {
+				t.Errorf("flagged the wrong entry: %v", v)
+			}
+		}
+	}
+	if corrupt != 1 {
+		t.Errorf("corrupt-read violations = %d, want exactly 1", corrupt)
+	}
+}
+
+// Unarmed, the oracle is inert: pre-integrity drivers record zero Sums on
+// every entry and must keep their exact verdicts.
+func TestCorruptReadOracleOffByDefault(t *testing.T) {
+	l := &Log{}
+	l.Record(Entry{Kind: Write, Key: "k", Seq: 1, OK: true, IssuedAt: 10, CompletedAt: 20})
+	l.Record(Entry{Kind: Read, Key: "k", Seq: 1, Sum: 0x123, OK: true, Hit: true, IssuedAt: 50, CompletedAt: 60})
+	for _, v := range l.Check() {
+		if v.Rule == "corrupt-read" {
+			t.Fatalf("corrupt-read fired with CheckValues off: %v", v)
+		}
+	}
+}

@@ -75,6 +75,11 @@ type Entry struct {
 	Seq uint64
 	// Hit reports a read that returned a value.
 	Hit bool
+	// Sum is the content checksum of the value written (Write) or observed
+	// (Read hit); the corruption oracle (Log.CheckValues) demands every read
+	// hit's Sum byte-match some write's. Zero when the driver doesn't record
+	// sums — the oracle is then vacuous for that entry.
+	Sum uint64
 	// OK reports a successful completion (Err() == nil).
 	OK bool
 	// Acked reports that a BufferAck arrived: the server holds the write.
@@ -137,6 +142,15 @@ type Log struct {
 	//     around a crash may still interleave with a failed-then-retried
 	//     increment, which is a client artifact, not a store regression.
 	Replicated bool
+	// CheckValues arms the corruption oracle: every read hit's content
+	// checksum (Entry.Sum) must equal the checksum of SOME acked write on
+	// that key — any value, any age, but never bytes no writer ever sent.
+	// Unlike stale-read, this rule has no crash-window excuse and no
+	// replication qualifier: a cache may serve an old value or a miss, but
+	// serving garbage is corruption under every configuration. Off by
+	// default so pre-integrity drivers (whose entries carry zero Sums and
+	// whose writes were never summed) keep their exact verdicts.
+	CheckValues bool
 }
 
 // Record appends one completed operation.
@@ -205,10 +219,32 @@ func (l *Log) Check() []Violation {
 		}
 	}
 
+	// Corruption oracle: the set of value checksums writers actually sent,
+	// per key. A read hit returning any other bytes is corruption — no
+	// crash window, replication state, or staleness softens it.
+	var wroteSum map[string]map[uint64]bool
+	if l.CheckValues {
+		wroteSum = map[string]map[uint64]bool{}
+		for i := range l.Entries {
+			e := &l.Entries[i]
+			if e.Kind != Write {
+				continue
+			}
+			if wroteSum[e.Key] == nil {
+				wroteSum[e.Key] = map[uint64]bool{}
+			}
+			wroteSum[e.Key][e.Sum] = true
+		}
+	}
+
 	for i := range l.Entries {
 		e := &l.Entries[i]
 		if e.Kind != Read || !e.OK || !e.Hit {
 			continue
+		}
+		if l.CheckValues && !wroteSum[e.Key][e.Sum] {
+			out = append(out, Violation{Rule: "corrupt-read", Entry: *e,
+				Detail: fmt.Sprintf("observed value checksum %#x matches no write ever issued on this key", e.Sum)})
 		}
 		if e.Seq > maxSeq[e.Key] {
 			out = append(out, Violation{Rule: "future-read", Entry: *e,

@@ -25,7 +25,9 @@ func (m *Manager) Compact(p *sim.Proc, liveThreshold float64) int64 {
 	groups := make(map[*ssdPage][]*Item)
 	for e := m.ssdLRU.Back(); e != nil; e = e.Prev() {
 		it := e.Value
-		if it.ssdPage != nil {
+		// Quarantined regions are the scrub pass's to drain and reclaim
+		// (EvacuateQuarantined); the compactor must not pool suspect media.
+		if it.ssdPage != nil && !it.ssdPage.quarantined {
 			groups[it.ssdPage] = append(groups[it.ssdPage], it)
 		}
 	}

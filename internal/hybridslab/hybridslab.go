@@ -22,7 +22,9 @@ import (
 	"errors"
 	"fmt"
 
+	"hybridkv/internal/blockdev"
 	"hybridkv/internal/pagecache"
+	"hybridkv/internal/protocol"
 	"hybridkv/internal/sim"
 	"hybridkv/internal/slab"
 )
@@ -101,6 +103,9 @@ type ssdPage struct {
 	// compacting marks a region being rewritten: freeSSD must not return
 	// it to the pool (the compactor retires it exactly once).
 	compacting bool
+	// quarantined marks a region that served corrupt bits: the allocator
+	// must never reuse it until a scrub pass reclaims it (ReclaimQuarantined).
+	quarantined bool
 }
 
 // Dropped reports whether the value was discarded by eviction; a Get of a
@@ -136,6 +141,12 @@ type Config struct {
 	AsyncFlush bool
 	// AsyncFlushDepth bounds in-flight staged flushes (default 4).
 	AsyncFlushDepth int
+	// NoVerify disables the foreground read-integrity checks (page-header
+	// checksum, per-slot key digest, rot detection). The zero value —
+	// verification on — is the production configuration; NoVerify exists
+	// for the bitrot experiment's nodefense cells, which measure what
+	// surfaces when corrupt media is served unchecked.
+	NoVerify bool
 }
 
 // NotifyEvent classifies an item lifecycle transition driven by the
@@ -176,6 +187,10 @@ type Manager struct {
 	ssdNext     int64             // bump pointer for fresh flush pages
 	ssdFree     map[int64][]int64 // fully-reclaimed flush regions by size
 	windows     map[*sim.Proc]*evictionWindow
+	// quarantine holds regions that served corrupt bits, in quarantine
+	// order. They are withheld from the free pool until ReclaimQuarantined
+	// (the scrub pass) releases the fully-dead ones.
+	quarantine []*ssdPage
 
 	// gen counts cold-restart recoveries: workers suspended in I/O across a
 	// crash observe a changed generation on resume and abandon their work
@@ -202,6 +217,9 @@ type Manager struct {
 	SSDLoads               int64
 	Promotions             int64 // SSD items moved back to RAM on Get
 	CorruptLoads           int64 // uncorrectable SSD reads (data loss)
+	QuarantinedPages       int64 // regions quarantined after serving corrupt bits
+	QuarantineReclaims     int64 // quarantined regions released back by scrub
+	QuarantineEvacuated    int64 // live slots re-verified and moved off quarantined regions
 	Compactions            int64 // arena regions rewritten densely
 	DropEvictions          int64 // items discarded entirely
 	AbortedWindows         int64 // eviction windows torn down by Crash
@@ -845,9 +863,13 @@ func (m *Manager) freeSSD(it *Item) {
 	m.file.Discard(it.ssdOff)
 	pg := it.ssdPage
 	pg.live--
-	if pg.live == 0 && !pg.compacting {
+	if pg.live == 0 && !pg.compacting && !pg.quarantined {
 		// The region is dead: drop its header and commit record too, so a
 		// later recovery scan doesn't wade through an all-freed page.
+		// Quarantined regions are deliberately NOT pooled here — they sit
+		// out until the scrub pass reclaims them (ReclaimQuarantined), so
+		// the allocator can never place fresh data on suspect media
+		// before scrub has looked at it.
 		m.file.Discard(pg.base)
 		m.file.Discard(commitOff(pg.base, pg.size))
 		m.ssdFree[pg.size] = append(m.ssdFree[pg.size], pg.base)
@@ -893,9 +915,30 @@ func (m *Manager) Load(p *sim.Proc, it *Item) (any, error) {
 	if it.dropped {
 		return nil, ErrDropped
 	}
-	if rec, isRec := v.(*itemRecord); ok && isRec {
+	if rot, isRot := v.(blockdev.Rotted); ok && isRot {
+		// The media cells rotted under this slot since it was flushed.
+		// With verification on this is exactly what the page-header
+		// checksum / key-digest re-check catches: quarantine the region
+		// and fail typed, never surfacing the bits. The check itself
+		// charges no extra time — it rides the chunk read already paid
+		// for — so defense and nodefense cells stay time-comparable.
+		if !m.cfg.NoVerify {
+			return nil, m.quarantineCorrupt(it)
+		}
+		// Verification disabled: serve the rotted bits as a garbled
+		// value, the silent-corruption failure mode the nodefense cells
+		// of the bitrot experiment measure.
+		if rec, isRec := rot.Payload.(*itemRecord); isRec {
+			v = protocol.Garbled{Inner: rec.Value}
+		} else {
+			v = protocol.Garbled{Inner: rot.Payload}
+		}
+	} else if rec, isRec := v.(*itemRecord); ok && isRec {
 		// Slots store the full item record (key + metadata ride along for
 		// recovery); the value is what the caller wants.
+		if !m.cfg.NoVerify && !m.verifySlot(it, rec) {
+			return nil, m.quarantineCorrupt(it)
+		}
 		v = rec.Value
 	}
 	if !ok {

@@ -102,6 +102,10 @@ func (m *Manager) resetVolatile() {
 	m.ssdUsed = 0
 	m.ssdNext = 0
 	m.ssdFree = make(map[int64][]int64)
+	// Quarantine state is volatile: recovery re-validates every region by
+	// checksum anyway, and still-rotten media re-fails verification (and
+	// re-quarantines) on the next foreground read.
+	m.quarantine = nil
 	// Workers parked on the old flush event belong to the old incarnation;
 	// they stay parked. New waiters get a fresh event.
 	m.flushEv = m.env.NewEvent()

@@ -275,6 +275,12 @@ const (
 	CSlowRoutedGets   Counter = "slow-routed-gets"  // GETs steered away from a browned-out replica
 	CPacerDeferrals   Counter = "pacer-deferrals"   // background replication rounds deferred to foreground load
 	CHealthSamples    Counter = "health-samples"    // per-op service-time samples fed to the health tracker
+
+	// Data-integrity counters (server-side; surfaced through Client.Stats
+	// via the cluster's integrity hook rather than the client's own bag).
+	CScrubCorruptionsFound    Counter = "scrub-corruptions-found"    // same-epoch content divergences detected by scrub
+	CScrubCorruptionsRepaired Counter = "scrub-corruptions-repaired" // divergences overwritten with the coordinator's copy
+	CQuarantinedPages         Counter = "quarantined-pages"          // SSD pages pulled from reuse after failed verification
 )
 
 // Counters is a named-counter bag for fault, retry, and availability

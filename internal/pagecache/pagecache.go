@@ -297,7 +297,22 @@ func (f *File) Read(p *sim.Proc, off int64, size int, scheme Scheme) (payload an
 	if !ok {
 		return nil, false
 	}
+	// Bit-rot bites only reads that actually touched the media — a cache
+	// hit re-serves the DRAM copy — and only after the full normal service
+	// time is charged, so a rotted read is virtual-time-identical to a
+	// clean one.
+	if touchedDev && c.dev.RotRead(f.base+off, p.Now()) {
+		return blockdev.Rotted{Payload: e.payload}, true
+	}
 	return e.payload, true
+}
+
+// Peek returns the logical contents at off without any time charge (for
+// integrity re-checks against data a read already paid for, and for
+// assertions).
+func (f *File) Peek(off int64) (payload any, ok bool) {
+	e, ok := f.extents[off]
+	return e.payload, ok
 }
 
 // Extent names one sub-extent of a larger write: the unit at which contents

@@ -1,0 +1,56 @@
+package protocol
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Garbled wraps a value whose bits were corrupted somewhere between the
+// writer and the reader — on rotting media served without verification, or
+// in a frame corrupted in flight. The simulation moves ownership tokens
+// rather than bytes, so "flipped bits" are modeled by this wrapper: any
+// consumer that type-asserts the original value fails, and ValueSum over a
+// Garbled value differs from the sum over the original, which is exactly
+// what the corruption oracle and the content-aware scrub key on.
+type Garbled struct {
+	Inner any
+}
+
+// ValueSum is the content checksum of a stored value: a deterministic hash
+// of the value's bytes at this fidelity. Two replicas holding the same key
+// at the same epoch but different bytes produce different sums — the
+// divergence signal the scrub digest folds in. Garbled values deliberately
+// sum differently from their originals.
+func ValueSum(v any) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+		// garbleMark separates a corrupted value's sum from its
+		// original's without simulating actual bit flips.
+		garbleMark = 0x9e3779b97f4a7c15
+	)
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case Garbled:
+		return ValueSum(x.Inner)*prime64 ^ garbleMark
+	case uint64:
+		h := uint64(offset64)
+		for i := 0; i < 8; i++ {
+			h = (h ^ (x >> (8 * i) & 0xff)) * prime64
+		}
+		return h
+	case string:
+		h := fnv.New64a()
+		h.Write([]byte(x))
+		return h.Sum64()
+	case []byte:
+		h := fnv.New64a()
+		h.Write(x)
+		return h.Sum64()
+	default:
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%T:%v", v, v)
+		return h.Sum64()
+	}
+}

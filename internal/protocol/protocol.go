@@ -110,6 +110,12 @@ const (
 	// landed on a subset of replicas; clients treat it as retryable and
 	// anti-entropy reconverges the subset.
 	StatusNoReplica
+	// StatusCorrupt fails a read whose local copy failed integrity
+	// verification: the item is quarantined, not served as garbage. A
+	// replicated server converts it into a repair-pull from its peers
+	// before answering; an unreplicated server degrades it to a miss.
+	// Clients never observe this status on the wire.
+	StatusCorrupt
 )
 
 func (s Status) String() string {
@@ -138,6 +144,8 @@ func (s Status) String() string {
 		return "BUSY"
 	case StatusNoReplica:
 		return "NO_REPLICA"
+	case StatusCorrupt:
+		return "CORRUPT"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }

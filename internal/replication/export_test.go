@@ -1,0 +1,32 @@
+package replication
+
+// Test-only hooks for the same-epoch content-divergence repair path. The
+// scrub's content fold exists to catch *silent* corruption — an applied
+// value whose bytes changed without an epoch advance — which no public
+// operation can produce (the write path checksums frames and the store
+// path verifies media). Tests reach in here to create exactly that state.
+
+// SilentlyCorruptForTest models silent in-RAM corruption of an applied
+// value: the key's recorded content sum is overwritten while its epoch,
+// tombstone, and suspect state stand, and the scrubber is kicked as if a
+// periodic round were due. Returns false if the key has no confirmed live
+// record here (nothing to corrupt).
+func (r *Replicator) SilentlyCorruptForTest(key string, sum uint64) bool {
+	ks := r.keys[key]
+	if ks == nil || ks.epoch == 0 || ks.del || ks.suspect {
+		return false
+	}
+	ks.sum = sum
+	r.kick()
+	return true
+}
+
+// AppliedStateForTest exposes a key's confirmed (epoch, content-sum)
+// record for convergence assertions.
+func (r *Replicator) AppliedStateForTest(key string) (epoch, sum uint64, ok bool) {
+	ks := r.keys[key]
+	if ks == nil || ks.epoch == 0 {
+		return 0, 0, false
+	}
+	return ks.epoch, ks.sum, true
+}

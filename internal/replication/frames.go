@@ -1,5 +1,7 @@
 package replication
 
+import "hybridkv/internal/protocol"
+
 // Frame kinds of the server-to-server replication protocol. Frames travel
 // as verbs SENDs over the replicators' dedicated QP mesh, so they pay real
 // fabric latency and are subject to fault injection like any other traffic.
@@ -35,11 +37,14 @@ const (
 	frameSegManifest
 )
 
-// KeyEpoch is one digest-diff entry.
+// KeyEpoch is one digest-diff entry. Sum carries the sender's per-key
+// value-content checksum so the receiver can tell same-epoch/different-
+// bytes divergence (silent corruption) from convergence.
 type KeyEpoch struct {
 	Key   string
 	Epoch uint64
 	Del   bool
+	Sum   uint64
 }
 
 // frame is the single wire message of the replication protocol; Kind
@@ -60,11 +65,29 @@ type frame struct {
 	ValueSize int
 	Flags     uint32
 	Expire    uint32
+	// Sum is the end-to-end content checksum of Value (frameWrite): the
+	// receiver re-derives it and silently rejects a frame whose value was
+	// corrupted in flight. Zero means "not stamped" (deletes).
+	Sum uint64
 
 	Buckets []uint64   // frameDigest: digest; frameDiff: differing bucket ids
 	Entries []KeyEpoch // frameDiff, frameSegManifest
 
 	Seg int // frameSegPull/frameSegManifest: hash-space segment id
+}
+
+// CorruptCopy implements simnet.Corruptible: the fault injector's in-flight
+// corruption delivers this instead of the original. Only a write's value
+// payload garbles — header fields are covered by link-layer CRC in any real
+// fabric, so a corrupt header is a dropped frame, already modeled by drop
+// injection. The stamped Sum is deliberately left as the sender computed it,
+// which is exactly how the receiver detects the mismatch.
+func (f *frame) CorruptCopy() any {
+	g := *f
+	if g.Kind == frameWrite && !g.Del && g.Value != nil {
+		g.Value = protocol.Garbled{Inner: g.Value}
+	}
+	return &g
 }
 
 // frameHeaderBytes is the modeled fixed overhead of one replication frame
@@ -75,7 +98,7 @@ const frameHeaderBytes = 64
 func (f *frame) wireSize() int {
 	n := frameHeaderBytes + len(f.Key) + f.ValueSize + 8*len(f.Buckets)
 	for _, e := range f.Entries {
-		n += len(e.Key) + 9 // key + epoch + del bit
+		n += len(e.Key) + 17 // key + epoch + del bit + content sum
 	}
 	return n
 }

@@ -63,7 +63,9 @@ type Config struct {
 	// every Nth served GET hit. Zero selects the default (8); a negative
 	// value disables read repair.
 	ReadRepairEvery int
-	// ScrubInterval is the anti-entropy digest exchange period.
+	// ScrubInterval is the anti-entropy digest exchange period. Zero
+	// selects the default (2 ms); a negative value disables the scrubber
+	// entirely (the bitrot experiment's verify-without-scrub cells).
 	ScrubInterval sim.Time
 	// ScrubBuckets is the digest width: keys fold into this many buckets.
 	ScrubBuckets int
@@ -150,7 +152,11 @@ const maxCoordRounds = 3
 type keyState struct {
 	epoch   uint64
 	del     bool // tombstone: the latest epoch deleted the key
-	suspect bool // cold-recovered, unconfirmed by any peer
+	suspect bool // cold-recovered or corrupt-read, unconfirmed by any peer
+	// sum is the content checksum of the value applied at epoch, folded
+	// into the scrub digest so two replicas at the same epoch holding
+	// different bytes (silent corruption) still diverge and get repaired.
+	sum uint64
 
 	// Open synchronous pull, shared by concurrent readers of the key.
 	pull     *sim.Event
@@ -468,11 +474,17 @@ func (r *Replicator) sendWrite(p *sim.Proc, fwd *Forward) {
 		pids = append(pids, pid)
 	}
 	sort.Ints(pids)
+	var sum uint64
+	if !fwd.del {
+		// End-to-end content checksum: the receiver re-derives it and
+		// rejects the frame if the value was corrupted in flight.
+		sum = protocol.ValueSum(fwd.value)
+	}
 	for _, pid := range pids {
 		r.send(p, pid, &frame{
 			Kind: frameWrite, ID: fwd.id, Key: fwd.key, Epoch: fwd.epoch,
 			Del: fwd.del, Value: fwd.value, ValueSize: fwd.valueSize,
-			Flags: fwd.flags, Expire: fwd.expire,
+			Flags: fwd.flags, Expire: fwd.expire, Sum: sum,
 		})
 	}
 }
@@ -576,7 +588,7 @@ func (r *Replicator) applyLocalWrite(p *sim.Proc, req *protocol.Request, fwd *Fo
 	if fwd.del {
 		resp.Status = r.st.Delete(p, req.Key)
 		if resp.Status == protocol.StatusDeleted || resp.Status == protocol.StatusNotFound {
-			ks.epoch, ks.del, ks.suspect = fwd.epoch, true, false
+			ks.epoch, ks.del, ks.suspect, ks.sum = fwd.epoch, true, false, 0
 			r.kick()
 			r.migSatisfy(req.Key, ks.epoch)
 		}
@@ -585,6 +597,7 @@ func (r *Replicator) applyLocalWrite(p *sim.Proc, req *protocol.Request, fwd *Fo
 	resp.Status = r.st.Set(p, req.Key, req.ValueSize, req.Value, req.Flags, req.Expire)
 	if resp.Status == protocol.StatusStored {
 		ks.epoch, ks.del, ks.suspect = fwd.epoch, false, false
+		ks.sum = protocol.ValueSum(req.Value)
 		r.kick()
 		r.migSatisfy(req.Key, ks.epoch)
 	}
@@ -653,9 +666,10 @@ func (r *Replicator) recoordinate(p *sim.Proc, fwd *Forward) {
 		ks := r.state(fwd.key)
 		if fwd.del {
 			r.st.Delete(p, fwd.key)
-			ks.epoch, ks.del, ks.suspect = fwd.epoch, true, false
+			ks.epoch, ks.del, ks.suspect, ks.sum = fwd.epoch, true, false, 0
 		} else if r.st.Set(p, fwd.key, fwd.valueSize, fwd.value, fwd.flags, fwd.expire) == protocol.StatusStored {
 			ks.epoch, ks.del, ks.suspect = fwd.epoch, false, false
+			ks.sum = protocol.ValueSum(fwd.value)
 		}
 		r.kick()
 		r.migSatisfy(fwd.key, ks.epoch)
@@ -700,6 +714,24 @@ func (r *Replicator) executeGet(p *sim.Proc, req *protocol.Request) *protocol.Re
 		}
 	}
 	resp = r.st.Handle(p, req)
+	if resp.Status == protocol.StatusCorrupt {
+		// The local copy failed integrity verification mid-read (the store
+		// already quarantined it and marked us suspect via OnCorrupt).
+		// Treat it exactly like a suspect miss: confirm against the peer
+		// replicas, and serve the repaired copy instead of garbage. Only
+		// when no peer can help does this degrade to an honest miss.
+		ks := r.state(req.Key)
+		if r.syncPull(p, req.Key, ks, peers) {
+			resp = r.st.Handle(p, req)
+			if resp.Status == protocol.StatusOK {
+				r.Counters.Add("corrupt-read-repairs", 1)
+			}
+		}
+		if resp.Status == protocol.StatusCorrupt {
+			resp.Status = protocol.StatusNotFound
+			resp.Value, resp.ValueSize = nil, 0
+		}
+	}
 	if resp.Status == protocol.StatusOK && r.cfg.ReadRepairEvery > 0 {
 		r.gets++
 		if r.gets%uint64(r.cfg.ReadRepairEvery) == 0 {
@@ -748,6 +780,22 @@ func (r *Replicator) executeRMW(p *sim.Proc, req *protocol.Request) *protocol.Re
 		}
 	}
 	resp = r.st.Handle(p, req)
+	if resp.Status == protocol.StatusCorrupt {
+		// The RMW's read phase hit a quarantined copy. Repair from the
+		// peers and decide the RMW on the repaired value; if nobody can
+		// confirm one, fail retryable rather than decide against garbage.
+		ks := r.state(req.Key)
+		if r.syncPull(p, req.Key, ks, peers) {
+			resp = r.st.Handle(p, req)
+			if resp.Status == protocol.StatusOK || resp.Status == protocol.StatusStored {
+				r.Counters.Add("corrupt-read-repairs", 1)
+			}
+		}
+		if resp.Status == protocol.StatusCorrupt {
+			resp.Status = protocol.StatusRecovering
+			resp.Value, resp.ValueSize = nil, 0
+		}
+	}
 	switch resp.Status {
 	case protocol.StatusStored, protocol.StatusOK:
 	default:
@@ -767,6 +815,7 @@ func (r *Replicator) executeRMW(p *sim.Proc, req *protocol.Request) *protocol.Re
 		// prior tombstone or suspicion on the key cannot outlive it.
 		ks := r.state(req.Key)
 		ks.epoch, ks.del, ks.suspect = fwd.epoch, false, false
+		ks.sum = protocol.ValueSum(value)
 		r.kick()
 		r.migSatisfy(req.Key, ks.epoch)
 	}
@@ -846,12 +895,54 @@ func (r *Replicator) Wipe() {
 func (r *Replicator) OnColdRecovery(keys []string) {
 	for _, key := range keys {
 		ks := r.state(key)
-		ks.epoch, ks.del, ks.suspect = 0, false, true
+		ks.epoch, ks.del, ks.suspect, ks.sum = 0, false, true, 0
 		ks.pull, ks.pullFrom = nil, nil
 	}
 	// Arm the scrubber even when nothing was recovered (wiped SSD): the
 	// digest exchange is how this node learns what the survivors hold.
 	r.kick()
+}
+
+// OnCorrupt is the store's corrupt-read hook: a foreground read just
+// failed integrity verification and the local copy is gone (quarantined).
+// Mark the key suspect — keeping its epoch, so peers' same-epoch pushes
+// still apply — and open a background pull immediately, so the key is
+// repaired even if no client ever retries it. The reader that tripped the
+// corruption joins this same pull through executeGet's syncPull.
+func (r *Replicator) OnCorrupt(p *sim.Proc, key string) {
+	r.Counters.Add("corrupt-local-reads", 1)
+	ks := r.state(key)
+	ks.suspect = true
+	peers, member := r.replicaPeers(key)
+	if !member || len(peers) == 0 {
+		return
+	}
+	if ks.pull == nil {
+		ks.pull = r.env.NewEvent()
+		ks.pullFrom = make(map[int]bool, len(peers))
+		for _, pid := range peers {
+			ks.pullFrom[pid] = true
+			r.send(p, pid, &frame{Kind: framePull, Key: key})
+		}
+		r.Counters.Add("repair-pulls", 1)
+	}
+	r.kick()
+}
+
+// winsSameEpoch decides which of two replicas holding the same epoch with
+// different bytes keeps its copy: the epoch's coordinator (the minting
+// server, encoded in the epoch's low byte) wins; between two backups the
+// lower id wins, purely for determinism. Exactly one side of any pair wins,
+// so divergence repair converges instead of oscillating.
+func winsSameEpoch(senderID, myID int, epoch uint64) bool {
+	coord := int(epoch & 0xff)
+	if senderID == coord {
+		return true
+	}
+	if myID == coord {
+		return false
+	}
+	return senderID < myID
 }
 
 // engine drains the replicator's receive CQ, dispatching peer frames.
@@ -897,6 +988,14 @@ func (r *Replicator) handle(p *sim.Proc, f *frame) {
 
 // handleWrite applies a forwarded or repair write under the epoch guard.
 func (r *Replicator) handleWrite(p *sim.Proc, f *frame) {
+	if !f.Del && f.Sum != 0 && protocol.ValueSum(f.Value) != f.Sum {
+		// The frame's value no longer matches the checksum the sender
+		// stamped: it was corrupted in flight. Reject silently — never
+		// apply, never ack — and let the coordinator's resend rounds (or
+		// anti-entropy) deliver a clean copy.
+		r.Counters.Add("corrupt-frames-rejected", 1)
+		return
+	}
 	ks := r.state(f.Key)
 	switch {
 	case f.Epoch < ks.epoch:
@@ -906,11 +1005,26 @@ func (r *Replicator) handleWrite(p *sim.Proc, f *frame) {
 		}
 		return
 	case f.Epoch == ks.epoch && f.Epoch != 0:
-		// Duplicate delivery of an epoch already applied: ack idempotently.
-		if !f.Repair {
-			r.send(p, f.From, &frame{Kind: frameAck, ID: f.ID, Applied: true, Epoch: ks.epoch, Key: f.Key})
+		// Same epoch at both ends normally means duplicate delivery: ack
+		// idempotently without re-applying. Two exceptions genuinely need
+		// the apply below. A suspect local copy (corrupt read, cold
+		// recovery) lost its value: any confirmed same-epoch push restores
+		// it. And a content-divergence repair — same epoch, different
+		// bytes — applies when the sender's copy wins the coordinator
+		// rule, which is how the scrub fixes silent corruption that an
+		// epoch comparison alone would never see.
+		diverged := f.Repair && !f.Del && !ks.del &&
+			protocol.ValueSum(f.Value) != ks.sum &&
+			winsSameEpoch(f.From, r.cfg.ID, f.Epoch)
+		if !ks.suspect && ks.pull == nil && !diverged {
+			if !f.Repair {
+				r.send(p, f.From, &frame{Kind: frameAck, ID: f.ID, Applied: true, Epoch: ks.epoch, Key: f.Key})
+			}
+			return
 		}
-		return
+		if diverged && !ks.suspect {
+			r.Counters.Add("scrub-corruptions-repaired", 1)
+		}
 	}
 	var applied bool
 	if f.Del {
@@ -925,6 +1039,11 @@ func (r *Replicator) handleWrite(p *sim.Proc, f *frame) {
 		return
 	}
 	ks.epoch, ks.del, ks.suspect = f.Epoch, f.Del, false
+	if f.Del {
+		ks.sum = 0
+	} else {
+		ks.sum = protocol.ValueSum(f.Value)
+	}
 	r.kick()
 	r.migSatisfy(f.Key, ks.epoch)
 	if ks.pull != nil {
@@ -985,6 +1104,7 @@ func (r *Replicator) pushKey(p *sim.Proc, pid int, key string, ks *keyState) boo
 		Kind: frameWrite, Repair: true, Key: key, Epoch: ks.epoch,
 		Value: value, ValueSize: size, Flags: flags,
 		Expire: expireSeconds(r.env.Now(), expireAt),
+		Sum:    protocol.ValueSum(value),
 	})
 	return true
 }

@@ -106,19 +106,23 @@ func TestPullMissDeduplicatesByPeer(t *testing.T) {
 }
 
 // The digest must be insensitive to iteration order (XOR fold) and
-// sensitive to every component: epoch, tombstone flag, and key.
+// sensitive to every component: epoch, tombstone flag, key, and the
+// value-content checksum.
 func TestDigestEntryDistinguishes(t *testing.T) {
-	base := digestEntry("k", 0x100, false)
-	if digestEntry("k", 0x100, false) != base {
+	base := digestEntry("k", 0x100, false, 7)
+	if digestEntry("k", 0x100, false, 7) != base {
 		t.Error("digestEntry is not deterministic")
 	}
-	if digestEntry("k", 0x200, false) == base {
+	if digestEntry("k", 0x200, false, 7) == base {
 		t.Error("digest ignores the epoch")
 	}
-	if digestEntry("k", 0x100, true) == base {
+	if digestEntry("k", 0x100, true, 7) == base {
 		t.Error("digest ignores the tombstone flag")
 	}
-	if digestEntry("j", 0x100, false) == base {
+	if digestEntry("j", 0x100, false, 7) == base {
 		t.Error("digest ignores the key")
+	}
+	if digestEntry("k", 0x100, false, 8) == base {
+		t.Error("digest ignores the value content checksum")
 	}
 }

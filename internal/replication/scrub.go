@@ -17,13 +17,56 @@ import (
 // simulation-scale key counts a single layer of buckets is already a
 // large traffic reduction over shipping full key lists every round.
 
-// digestEntry folds one key's epoch record into a digest bucket.
-func digestEntry(key string, epoch uint64, del bool) uint64 {
+// digestEntry folds one key's epoch record — and the content checksum of
+// the value applied at that epoch — into a digest bucket. Folding the sum
+// is what lets the scrub see *silent corruption*: two replicas at the same
+// epoch whose bytes differ produce different digests and reconcile, where
+// an epoch-only digest would call them converged forever.
+func digestEntry(key string, epoch uint64, del bool, sum uint64) uint64 {
 	e := epoch << 1
 	if del {
 		e |= 1
 	}
-	return Mix64(HashKey(key) ^ Mix64(e))
+	return Mix64(HashKey(key) ^ Mix64(e) ^ Mix64(sum*0x9e3779b97f4a7c15+1))
+}
+
+// digestEntry2 is the second, independent fold of the same record. An
+// XOR-folded bucket has a blind spot: two entries whose digestEntry values
+// collide cancel out, masking real divergence (most simply, two different
+// records hashing to the same value XOR to zero, indistinguishable from
+// holding neither). A second fold built from different primitives — an
+// alternate key hash and alternate mixing constants — would only mask the
+// same pair if it collided under both, which independent hashes don't do.
+// Buckets carry both folds; a mismatch in either flags the bucket.
+func digestEntry2(key string, epoch uint64, del bool, sum uint64) uint64 {
+	e := epoch << 1
+	if del {
+		e |= 1
+	}
+	return mixAlt(hashKeyAlt(key) ^ mixAlt(e) ^ mixAlt(sum*0xff51afd7ed558ccd+1))
+}
+
+// hashKeyAlt is the alternate key hash of the second digest fold: FNV-1
+// (not 1a: multiply-then-xor, a genuinely different diffusion order)
+// finished with the alternate mixer.
+func hashKeyAlt(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = h * 1099511628211
+		h ^= uint64(s[i])
+	}
+	return mixAlt(h)
+}
+
+// mixAlt is the murmur3 finalizer — same shape as Mix64, independent
+// constants, so a collision under one does not survive the other.
+func mixAlt(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
 }
 
 // sharedWith reports whether key is replicated on both this server and pid.
@@ -39,18 +82,21 @@ func (r *Replicator) sharedWith(pid int, key string) bool {
 	return both == 2
 }
 
-// digestFor computes the bucketed epoch digest over keys shared with pid.
-// Suspect and epoch-0 keys are excluded: they are unconfirmed and must not
-// be claimed. XOR folding makes the digest independent of iteration order,
-// preserving determinism over Go's randomized map iteration.
+// digestFor computes the bucketed epoch+content digest over keys shared
+// with pid: bucket b occupies slots [2b] and [2b+1] — the two independent
+// folds of its keys. Suspect and epoch-0 keys are excluded: they are
+// unconfirmed and must not be claimed. XOR folding makes the digest
+// independent of iteration order, preserving determinism over Go's
+// randomized map iteration.
 func (r *Replicator) digestFor(pid int) []uint64 {
-	buckets := make([]uint64, r.cfg.ScrubBuckets)
+	buckets := make([]uint64, 2*r.cfg.ScrubBuckets)
 	for key, ks := range r.keys {
 		if ks.suspect || ks.epoch == 0 || !r.sharedWith(pid, key) {
 			continue
 		}
-		b := HashKey(key) % uint64(len(buckets))
-		buckets[b] ^= digestEntry(key, ks.epoch, ks.del)
+		b := HashKey(key) % uint64(r.cfg.ScrubBuckets)
+		buckets[2*b] ^= digestEntry(key, ks.epoch, ks.del, ks.sum)
+		buckets[2*b+1] ^= digestEntry2(key, ks.epoch, ks.del, ks.sum)
 	}
 	return buckets
 }
@@ -66,7 +112,7 @@ func (r *Replicator) digestFor(pid int) []uint64 {
 // peers (not just higher ids): a freshly restarted node must be able to
 // start reconciliation toward lower-id survivors.
 func (r *Replicator) scrubber(p *sim.Proc) {
-	if len(r.peerIDs) == 0 {
+	if len(r.peerIDs) == 0 || r.cfg.ScrubInterval < 0 {
 		return
 	}
 	for {
@@ -91,6 +137,21 @@ func (r *Replicator) scrubber(p *sim.Proc) {
 			r.Counters.Add("scrub-rounds", 1)
 			r.send(p, pid, &frame{Kind: frameDigest, Buckets: r.digestFor(pid)})
 		}
+		// The scrub pass is also when quarantined SSD media is drained and
+		// returned to service: live slots on suspect regions are re-read,
+		// re-verified, and either moved to fresh media or retired into a
+		// repair-pull (EvacuateQuarantined); the reclaim then releases the
+		// fully-dead regions back to the free pool.
+		if moved, dropped := r.st.EvacuateQuarantined(p); moved > 0 || dropped > 0 {
+			r.Counters.Add("quarantine-evacuated", int64(moved))
+			r.Counters.Add("quarantine-evac-drops", int64(dropped))
+		}
+		if r.isDown() {
+			continue // crashed during the evacuation I/O
+		}
+		if n := r.st.Manager().ReclaimQuarantined(); n > 0 {
+			r.Counters.Add("quarantine-reclaims", int64(n))
+		}
 	}
 }
 
@@ -98,13 +159,16 @@ func (r *Replicator) scrubber(p *sim.Proc) {
 // keys and answers with our entries for every differing bucket.
 func (r *Replicator) handleDigest(p *sim.Proc, f *frame) {
 	mine := r.digestFor(f.From)
-	n := len(mine)
-	if len(f.Buckets) < n {
-		n = len(f.Buckets)
+	n := len(mine) / 2
+	if m := len(f.Buckets) / 2; m < n {
+		n = m
 	}
 	var diff []uint64
 	for b := 0; b < n; b++ {
-		if mine[b] != f.Buckets[b] {
+		// Each bucket carries two independent folds; a mismatch in either
+		// flags it (the second fold is what defeats colliding-pair masking
+		// in the first).
+		if mine[2*b] != f.Buckets[2*b] || mine[2*b+1] != f.Buckets[2*b+1] {
 			diff = append(diff, uint64(b))
 		}
 	}
@@ -114,10 +178,10 @@ func (r *Replicator) handleDigest(p *sim.Proc, f *frame) {
 	resp := &frame{Kind: frameDiff, Buckets: diff}
 	for _, key := range r.sortedSharedKeys(f.From) {
 		ks := r.keys[key]
-		b := HashKey(key) % uint64(len(mine))
+		b := HashKey(key) % uint64(r.cfg.ScrubBuckets)
 		for _, db := range diff {
 			if b == db {
-				resp.Entries = append(resp.Entries, KeyEpoch{Key: key, Epoch: ks.epoch, Del: ks.del})
+				resp.Entries = append(resp.Entries, KeyEpoch{Key: key, Epoch: ks.epoch, Del: ks.del, Sum: ks.sum})
 				break
 			}
 		}
@@ -152,7 +216,7 @@ func (r *Replicator) handleDiff(p *sim.Proc, f *frame) {
 	for _, b := range f.Buckets {
 		inDiff[b] = true
 	}
-	// Peer-listed keys: compare epochs.
+	// Peer-listed keys: compare epochs, then content at equal epochs.
 	for _, e := range f.Entries {
 		ks := r.keys[e.Key]
 		var epoch uint64
@@ -165,6 +229,19 @@ func (r *Replicator) handleDiff(p *sim.Proc, f *frame) {
 			r.send(p, f.From, &frame{Kind: framePull, Key: e.Key})
 		case epoch > e.Epoch:
 			r.pushKey(p, f.From, e.Key, ks)
+		case epoch != 0 && !ks.del && !e.Del && ks.sum != e.Sum:
+			// Same epoch, different bytes: silent corruption on one side.
+			// The epoch's coordinator keeps its copy; the loser takes the
+			// winner's. Either push our copy (we win — the peer's
+			// handleWrite applies it under the same rule) or pull the
+			// peer's (it wins).
+			r.Counters.Add("scrub-corruptions-found", 1)
+			if winsSameEpoch(r.cfg.ID, f.From, epoch) {
+				r.pushKey(p, f.From, e.Key, ks)
+			} else {
+				r.Counters.Add("repair-pulls", 1)
+				r.send(p, f.From, &frame{Kind: framePull, Key: e.Key})
+			}
 		}
 	}
 	// Keys we hold in a differing bucket that the peer did not list at all.

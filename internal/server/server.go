@@ -403,6 +403,9 @@ func (s *Server) AttachReplicator(r *replication.Replicator) {
 	// Foreground-load signal for the background pacer: consulted only when
 	// the replicator's pacer is enabled, so attaching it costs nothing.
 	r.SetBusy(s.foregroundBusy)
+	// A corrupt local read opens a repair-pull immediately — the key heals
+	// from peers even if no client ever retries it.
+	s.st.SetCorruptNotify(r.OnCorrupt)
 }
 
 // foregroundBusy reports whether the async pipeline currently holds queued
@@ -439,7 +442,7 @@ func (s *Server) exec(p *sim.Proc, t task) *protocol.Response {
 	if s.repl != nil {
 		return s.repl.Execute(p, t.req, t.fwd)
 	}
-	return s.st.Handle(p, t.req)
+	return degradeCorrupt(s.st.Handle(p, t.req))
 }
 
 // execBatch runs a buffered frame's storage phases back-to-back.
@@ -447,7 +450,24 @@ func (s *Server) execBatch(p *sim.Proc, t task) []*protocol.Response {
 	if s.repl != nil {
 		return s.repl.ExecuteBatch(p, t.batch.Reqs, t.fwds)
 	}
-	return s.st.HandleBatch(p, t.batch.Reqs)
+	resps := s.st.HandleBatch(p, t.batch.Reqs)
+	for i, resp := range resps {
+		resps[i] = degradeCorrupt(resp)
+	}
+	return resps
+}
+
+// degradeCorrupt converts a StatusCorrupt read into a plain miss: with no
+// replicator attached there is nowhere to repair from, and the one thing an
+// unreplicated server must still guarantee is that quarantined garbage is
+// never served — a miss lets the client re-populate from its backend.
+// (Replicated servers intercept the status earlier and repair-pull instead.)
+func degradeCorrupt(resp *protocol.Response) *protocol.Response {
+	if resp != nil && resp.Status == protocol.StatusCorrupt {
+		resp.Status = protocol.StatusNotFound
+		resp.Value = nil
+	}
+	return resp
 }
 
 // AcceptQP creates and connects a server-side QP for a client QP, and

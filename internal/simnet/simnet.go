@@ -111,12 +111,25 @@ type Verdict struct {
 	// ExtraDelay postpones delivery beyond normal propagation (a latency
 	// spike).
 	ExtraDelay sim.Time
+	// Corrupt flips bits in the payload in flight: a Corruptible payload
+	// is delivered as its CorruptCopy; other payloads deliver intact (their
+	// transports checksum-and-drop below this layer).
+	Corrupt bool
 }
 
 // FaultInjector is consulted once per message at serialization end.
 // internal/fault provides the standard seeded implementation.
 type FaultInjector interface {
 	Transmit(src, dst string, size int, now sim.Time) Verdict
+}
+
+// Corruptible is a payload that knows how to present itself bit-flipped:
+// the fabric delivers CorruptCopy's result in place of the original when
+// the injector's verdict says Corrupt. Payloads that don't implement it
+// are delivered intact — corrupting a message the receiver would CRC-drop
+// anyway is indistinguishable from Drop, which the injector already models.
+type Corruptible interface {
+	CorruptCopy() any
 }
 
 // Fabric is the switch plus its attached nodes.
@@ -132,6 +145,8 @@ type Fabric struct {
 	// Dropped counts messages lost to fault injection (random drops plus
 	// link-down windows).
 	Dropped int64
+	// Corrupted counts payloads delivered bit-flipped by fault injection.
+	Corrupted int64
 }
 
 // New creates a fabric on env with the given default link spec.
@@ -222,6 +237,14 @@ func (n *Node) txEngine(p *sim.Proc) {
 			deliverAt += v.ExtraDelay
 			if v.Duplicate {
 				copies = 2
+			}
+			if v.Corrupt {
+				if c, ok := msg.Payload.(Corruptible); ok {
+					cm := *msg
+					cm.Payload = c.CorruptCopy()
+					msg = &cm
+					f.Corrupted++
+				}
 			}
 		}
 		for i := 0; i < copies; i++ {

@@ -56,13 +56,26 @@ type Store struct {
 
 	crawlerStop *sim.Event
 
+	// corruptNotify, when set, fires on every foreground read that failed
+	// integrity verification (the key is already gone locally). The server
+	// wires it to the replicator so a corrupt read opens a repair-pull
+	// even when the client never retries the key.
+	corruptNotify func(p *sim.Proc, key string)
+
 	// Stats
 	SetOps, GetOps, DeleteOps int64
 	GetHits, GetMisses        int64
 	Expired                   int64
 	CrawlerReclaimed          int64
 	Flushes                   int64
+	// CorruptReads counts foreground reads answered StatusCorrupt: the
+	// on-SSD copy failed verification and was quarantined.
+	CorruptReads int64
 }
+
+// SetCorruptNotify installs the corrupt-read callback (replication repair
+// hook). Call before the simulation runs.
+func (s *Store) SetCorruptNotify(fn func(p *sim.Proc, key string)) { s.corruptNotify = fn }
 
 // New creates a store over the given slab manager.
 func New(env *sim.Env, mgr *hybridslab.Manager) *Store {
@@ -77,6 +90,29 @@ func New(env *sim.Env, mgr *hybridslab.Manager) *Store {
 
 // Manager returns the underlying hybrid slab manager.
 func (s *Store) Manager() *hybridslab.Manager { return s.mgr }
+
+// EvacuateQuarantined drains quarantined SSD regions: verified-clean slots
+// move to fresh media, slots that fail re-verification are retired here —
+// table entry dropped, read view unpublished, and the corrupt-read callback
+// fired so replication opens a repair-pull — exactly the foreground
+// corrupt-read teardown, driven by the scrub pass instead of a client.
+func (s *Store) EvacuateQuarantined(p *sim.Proc) (moved, dropped int) {
+	moved, corrupt := s.mgr.EvacuateQuarantined(p)
+	for _, it := range corrupt {
+		// The read may have suspended; only tear down a table entry the
+		// retired item still owns (a concurrent Set installs a new one).
+		if s.table[it.Key] != it {
+			continue
+		}
+		delete(s.table, it.Key)
+		s.unpublish(it.Key)
+		dropped++
+		if s.corruptNotify != nil {
+			s.corruptNotify(p, it.Key)
+		}
+	}
+	return moved, dropped
+}
 
 // SetReadView installs the read-side publication view and subscribes it to
 // the slab manager's eviction lifecycle.
@@ -132,6 +168,8 @@ type Stats struct {
 	SSDUsed          int64
 	FlushPages       int64
 	DropEvictions    int64
+	CorruptReads     int64
+	QuarantinedPages int64
 }
 
 // Stats snapshots the server state.
@@ -151,6 +189,8 @@ func (s *Store) Stats() Stats {
 		SSDUsed:          s.mgr.SSDUsed(),
 		FlushPages:       s.mgr.FlushPages,
 		DropEvictions:    s.mgr.DropEvictions,
+		CorruptReads:     s.CorruptReads,
+		QuarantinedPages: s.mgr.QuarantinedPages,
 	}
 }
 
@@ -281,6 +321,20 @@ func (s *Store) Get(p *sim.Proc, key string) (value any, size int, flags uint32,
 			// Transient rejection, not a dead key: the item may well be
 			// recovered — keep the table entry and fail the request fast.
 			return nil, 0, 0, 0, protocol.StatusRecovering
+		}
+		if errors.Is(err, hybridslab.ErrCorrupt) {
+			// The on-SSD copy failed integrity verification: the item is
+			// quarantined, not legally evicted. Drop the dead table entry
+			// but answer StatusCorrupt — distinct from a miss — so the
+			// replication layer can repair-pull the key from its peers
+			// instead of letting the client see a false miss.
+			delete(s.table, key)
+			s.unpublish(key)
+			s.CorruptReads++
+			if s.corruptNotify != nil {
+				s.corruptNotify(p, key)
+			}
+			return nil, 0, 0, 0, protocol.StatusCorrupt
 		}
 		// Value dropped by eviction: the key is dead.
 		delete(s.table, key)
